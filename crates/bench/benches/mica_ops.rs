@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the MICA substrate: raw store GET/SET and log
+//! append throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mica::log::CircularLog;
+use mica::store::Mica;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_store(c: &mut Criterion) {
+    let mut store = Mica::new(8, 1 << 14, 32 << 20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut value = [0u8; 512];
+    for i in 0..100_000u32 {
+        rng.fill(&mut value[..]);
+        store.set(&i.to_le_bytes(), &value);
+    }
+    c.bench_function("mica/get_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(store.get(&i.to_le_bytes()))
+        });
+    });
+    c.bench_function("mica/set_overwrite_512B", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 104_729) % 100_000;
+            black_box(store.set(&i.to_le_bytes(), &value))
+        });
+    });
+}
+
+fn bench_log(c: &mut Criterion) {
+    c.bench_function("log/append_64B", |b| {
+        let mut log = CircularLog::new(16 << 20);
+        let payload = [0xAAu8; 64];
+        b.iter(|| black_box(log.append(&payload)));
+    });
+}
+
+criterion_group!(benches, bench_store, bench_log);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark of whole-simulation throughput: how many simulated
+//! RPCs per second of wall-clock the engine sustains for a representative
+//! Altocumulus configuration and a baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use altocumulus::{AcConfig, Altocumulus};
+use schedulers::common::RpcSystem;
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use simcore::time::SimDuration;
+use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
+
+fn trace() -> workload::Trace {
+    let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+    let rate = PoissonProcess::rate_for_load(0.8, 64, dist.mean());
+    TraceBuilder::new(PoissonProcess::new(rate), dist)
+        .requests(20_000)
+        .connections(16)
+        .seed(1)
+        .build()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("sim_20k_requests_64_cores");
+    g.sample_size(10);
+    g.bench_function("altocumulus_int_4x16", |b| {
+        b.iter_batched(
+            || Altocumulus::new(AcConfig::ac_int(4, 16, SimDuration::from_ns(850))),
+            |mut sys| black_box(sys.run(&t).completions.len()),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("nebula_jbsq", |b| {
+        b.iter_batched(
+            || Jbsq::new(JbsqVariant::Nebula, 64),
+            |mut sys| black_box(sys.run(&t).completions.len()),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Fig. 3 — 99th-percentile latency vs offered load for per-request
+//! scheduling overheads from 5 ns to 360 ns on a 64-core system.
+//!
+//! Paper shape: at a 5 µs p99 target, cutting the overhead from 360 ns
+//! (a work-stealing operation) to 5 ns improves sustainable load ~3×.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig03_sched_overhead
+//! ```
+
+use bench::{parallel_map, poisson_trace};
+use schedulers::common::RpcSystem;
+use schedulers::ideal::{CentralQueue, CentralQueueConfig};
+use schedulers::sweep::throughput_at_slo;
+use simcore::report::Table;
+use simcore::time::SimDuration;
+use workload::ServiceDistribution;
+
+fn main() {
+    let cores = 64;
+    let dist = ServiceDistribution::Exponential {
+        mean: SimDuration::from_us(1),
+    };
+    let overheads_ns = [5u64, 45, 90, 135, 180, 360];
+    let loads = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+    let slo = SimDuration::from_us(5);
+    let requests = 300_000;
+
+    println!(
+        "Fig. 3: p99 (us) vs load, 64 cores, 1us mean service, overhead added per request\n"
+    );
+
+    // One sweep per overhead level, in parallel.
+    let jobs: Vec<u64> = overheads_ns.to_vec();
+    let series = parallel_map(jobs, overheads_ns.len(), |oh| {
+        loads
+            .iter()
+            .map(|&load| {
+                let trace = poisson_trace(dist, load, cores, requests, 256, 90);
+                let mut sys = CentralQueue::new(CentralQueueConfig {
+                    cores,
+                    sched_overhead: SimDuration::from_ns(oh),
+                });
+                sys.run(&trace).p99()
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut header: Vec<String> = vec!["load".into()];
+    header.extend(overheads_ns.iter().map(|o| format!("p99us@{o}ns")));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for (li, &load) in loads.iter().enumerate() {
+        let mut row: Vec<String> = vec![format!("{load:.2}")];
+        for s in &series {
+            row.push(format!("{:.2}", s[li].as_us_f64()));
+        }
+        t.row_owned(row);
+    }
+    t.print();
+
+    // Throughput@SLO per overhead (the ~3x headline).
+    println!("\nmax load with p99 <= 5us:");
+    let mut t2 = Table::new(&["overhead_ns", "load@SLO"]);
+    for &oh in &overheads_ns {
+        let best = throughput_at_slo(
+            |load| {
+                let trace = poisson_trace(dist, load, cores, requests, 256, 90);
+                let mut sys = CentralQueue::new(CentralQueueConfig {
+                    cores,
+                    sched_overhead: SimDuration::from_ns(oh),
+                });
+                sys.run(&trace).p99()
+            },
+            slo,
+            0.05,
+            0.99,
+            0.01,
+        );
+        t2.row(&[
+            &oh.to_string(),
+            &best.map_or("-".to_string(), |b| format!("{b:.2}")),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,125 @@
+//! Fig. 10 — tail latency vs throughput against prior work: IX, ZygOS,
+//! Shinjuku, RPCValet, Nebula, nanoPU and AC_rss on 16 cores with the
+//! Bimodal(99.5% 0.5 µs / 0.5% 500 µs) workload, SLO = 300 µs p99.
+//!
+//! Paper shape: IX/ZygOS collapse earliest (head-of-line blocking),
+//! Shinjuku ~5× better than ZygOS, Nebula/nanoPU another ~4× up, and
+//! AC_rss lands within a few percent of the best hardware scheduler while
+//! beating Nebula's tail by an order of magnitude at moderate load.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig10_comparison
+//! ```
+
+use altocumulus::{AcConfig, Altocumulus};
+use bench::{parallel_map, point_from, poisson_trace};
+use schedulers::central::{CentralConfig, CentralDispatch};
+use schedulers::common::RpcSystem;
+use schedulers::dfcfs::{DFcfs, DFcfsConfig};
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use schedulers::stealing::{StealingConfig, WorkStealing};
+use simcore::report::Table;
+use rpcstack::stack::StackModel;
+use simcore::time::SimDuration;
+use workload::ServiceDistribution;
+
+const CORES: usize = 16;
+const REQUESTS: usize = 250_000;
+
+fn make_system(name: &str) -> Box<dyn RpcSystem> {
+    let dist = ServiceDistribution::bimodal_paper();
+    // Per §VII-A, the software systems (IX, ZygOS, Shinjuku) "rely on
+    // traditional network stacks, such as TCP/UDP" — most of their gap to
+    // the hardware schedulers is stack processing, not scheduling.
+    let tcp = StackModel::tcp_ip();
+    match name {
+        "IX" => Box::new(DFcfs::new(DFcfsConfig {
+            stack: tcp,
+            ..DFcfsConfig::ix(CORES)
+        })),
+        "ZygOS" => Box::new(WorkStealing::new(StealingConfig {
+            stack: tcp,
+            ..StealingConfig::zygos(CORES)
+        })),
+        "Shinjuku" => Box::new(CentralDispatch::new(CentralConfig {
+            stack: tcp,
+            ..CentralConfig::shinjuku(CORES)
+        })),
+        "RPCValet" => Box::new(Jbsq::new(JbsqVariant::RpcValet, CORES)),
+        "Nebula" => Box::new(Jbsq::new(JbsqVariant::Nebula, CORES)),
+        "nanoPU" => Box::new(Jbsq::new(JbsqVariant::NanoPu, CORES)),
+        // One 16-core group: the paper's group-size exploration (§VIII-B)
+        // picks 16; on a 16-core machine inter-group migration is moot and
+        // AC degenerates to its local c-FCFS tier with an eRPC-class stack.
+        "AC_rss" => {
+            let mut cfg = AcConfig::ac_rss(1, 16, dist.mean());
+            // Paired with a hardware-terminated (nanoRPC-class) stack as in
+            // the paper's end-to-end configuration (§IX-A).
+            cfg.stack = StackModel::nano_rpc();
+            Box::new(Altocumulus::new(cfg))
+        }
+        other => panic!("unknown system {other}"),
+    }
+}
+
+fn main() {
+    let dist = ServiceDistribution::bimodal_paper();
+    let slo = SimDuration::from_us(300);
+    let systems = ["IX", "ZygOS", "Shinjuku", "RPCValet", "Nebula", "nanoPU", "AC_rss"];
+    let loads = [0.02, 0.05, 0.08, 0.1, 0.13, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+    println!(
+        "Fig. 10: p99 vs throughput, {CORES} cores, {dist}, SLO p99 <= 300us\n"
+    );
+
+    let all = parallel_map(systems.to_vec(), systems.len(), |name| {
+        let mut sys = make_system(name);
+        let pts: Vec<_> = loads
+            .iter()
+            .map(|&load| {
+                let trace = poisson_trace(dist, load, CORES, REQUESTS, 128, 10);
+                let r = sys.run(&trace);
+                point_from(&r, load, slo)
+            })
+            .collect();
+        (name, pts)
+    });
+
+    let mut t = Table::new(&["system", "load", "MRPS", "p99_us", "viol%"]);
+    for (name, pts) in &all {
+        for p in pts {
+            t.row(&[
+                name,
+                &format!("{:.2}", p.load),
+                &format!("{:.2}", p.mrps),
+                &format!("{:.1}", p.p99.as_us_f64()),
+                &format!("{:.2}", p.violation_ratio * 100.0),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\nthroughput@SLO (highest measured MRPS with p99 <= 300us):");
+    let mut t2 = Table::new(&["system", "MRPS@SLO"]);
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for (name, pts) in &all {
+        let mrps = pts
+            .iter()
+            .filter(|p| p.p99 <= slo)
+            .map(|p| p.mrps)
+            .fold(0.0f64, f64::max);
+        best.push((name.to_string(), mrps));
+        t2.row(&[name, &format!("{mrps:.2}")]);
+    }
+    t2.print();
+
+    let get = |n: &str| best.iter().find(|(b, _)| b == n).map(|(_, v)| *v).unwrap_or(0.0);
+    let (zygos, nebula, ac) = (get("ZygOS"), get("Nebula"), get("AC_rss"));
+    if zygos > 0.0 && nebula > 0.0 {
+        println!(
+            "\nAC_rss vs ZygOS: {:.1}x (paper: 24.6x) | AC_rss vs Nebula: {:.2}x (paper: 1.05x)",
+            ac / zygos,
+            ac / nebula
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig. 13(a) — throughput@SLO and prediction accuracy scaling from 16 to
+//! 256 cores, with (1) fixed 850 ns service (eRPC stack, Poisson) and (2)
+//! bursty real-world traffic, comparing RSS, Nebula, AC_int_subopt (static
+//! paper parameters) and AC_int_opt (tuned).
+//!
+//! Paper shape: AC scales near-linearly; under real-world traffic Nebula
+//! and RSS flatten while AC_int keeps most of its throughput, losing only
+//! ~14-15% vs. its synthetic-trace result; prediction accuracy drops from
+//! ~99.8% (synthetic) to ~96% (real-world).
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig13a_scalability
+//! ```
+
+use altocumulus::accounting::prediction_accuracy;
+use altocumulus::{AcConfig, Altocumulus};
+use bench::parallel_map;
+use queueing::ThresholdModel;
+use schedulers::common::RpcSystem;
+use schedulers::dfcfs::{DFcfs, DFcfsConfig};
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use simcore::report::Table;
+use simcore::time::SimDuration;
+use workload::arrival::PoissonProcess;
+use workload::realworld::clustered_bursty;
+use workload::trace::{Trace, TraceBuilder};
+use workload::ServiceDistribution;
+
+const REQUESTS: usize = 200_000;
+
+fn trace_for(cores: usize, load: f64, real_world: bool, seed: u64) -> Trace {
+    let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+    let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
+    if real_world {
+        // Independently-bursty hot flows (one connection each), several per
+        // group, so bursts concentrate on individual receive queues.
+        let clusters = (cores / 8).max(4) as u32;
+        clustered_bursty(dist, rate, clusters, 1, REQUESTS, seed)
+    } else {
+        TraceBuilder::new(PoissonProcess::new(rate), dist)
+            .requests(REQUESTS)
+            .connections((cores * 16) as u32)
+            .seed(seed)
+            .build()
+    }
+}
+
+fn subopt(cores: usize) -> AcConfig {
+    AcConfig::ac_int(cores / 16, 16, SimDuration::from_ns(850))
+}
+
+fn opt(cores: usize) -> AcConfig {
+    // Tuned: faster period, bigger bulk, full concurrency, identity
+    // Erlang-C threshold (catches violations earlier under bursts).
+    let mut cfg = subopt(cores);
+    cfg.period = SimDuration::from_ns(100);
+    cfg.bulk = 32;
+    cfg.concurrency = (cores / 16).clamp(1, 16).min(cfg.bulk);
+    cfg.threshold = altocumulus::ThresholdPolicy::Model(ThresholdModel::identity());
+    cfg
+}
+
+/// Highest measured MRPS with p99 <= SLO over a load grid.
+fn tput_at_slo(
+    mut run_at: impl FnMut(f64) -> (f64, SimDuration),
+    slo: SimDuration,
+) -> (f64, f64) {
+    let mut best = (0.0, 0.0); // (mrps, load)
+    for load in [0.1, 0.2, 0.3, 0.5, 0.65, 0.8, 0.85, 0.9, 0.95] {
+        let (mrps, p99) = run_at(load);
+        if p99 <= slo && mrps > best.0 {
+            best = (mrps, load);
+        }
+    }
+    best
+}
+
+fn main() {
+    let slo = SimDuration::from_ns(8500); // 10 x 850ns
+    let core_counts = [16usize, 64, 128, 256];
+
+    for real_world in [false, true] {
+        let title = if real_world {
+            "(2) real-world (bursty MMPP) traffic"
+        } else {
+            "(1) Poisson, fixed 850ns service"
+        };
+        println!("--- {title} ---");
+        let rows = parallel_map(core_counts.to_vec(), core_counts.len(), |cores| {
+            let run_sys = |sys: &mut dyn RpcSystem, load: f64| {
+                let t = trace_for(cores, load, real_world, 51);
+                let r = sys.run(&t);
+                (r.throughput_rps() / 1e6, r.p99())
+            };
+            let mut rss = DFcfs::new(DFcfsConfig::rss(cores));
+            let (rss_mrps, _) = tput_at_slo(|l| run_sys(&mut rss, l), slo);
+            let mut nebula = Jbsq::new(JbsqVariant::Nebula, cores);
+            let (neb_mrps, _) = tput_at_slo(|l| run_sys(&mut nebula, l), slo);
+            let mut ac_sub = Altocumulus::new(subopt(cores));
+            let (sub_mrps, _) = tput_at_slo(|l| run_sys(&mut ac_sub, l), slo);
+            let mut ac_opt = Altocumulus::new(opt(cores));
+            let (opt_mrps, opt_load) = tput_at_slo(|l| run_sys(&mut ac_opt, l), slo);
+
+            // Prediction accuracy of AC_int_opt at its operating point,
+            // measured on a predict-only run (predictions on the
+            // unperturbed trajectory, the paper's metric).
+            let acc = if opt_load > 0.0 {
+                let t = trace_for(cores, opt_load, real_world, 51);
+                let mut po = opt(cores);
+                po.predict_only = true;
+                let run = Altocumulus::new(po).run_detailed(&t);
+                prediction_accuracy(&run.system, &run.stats.predicted, t.len(), slo)
+            } else {
+                f64::NAN
+            };
+            (cores, rss_mrps, neb_mrps, sub_mrps, opt_mrps, acc)
+        });
+
+        let mut t = Table::new(&[
+            "cores",
+            "RSS",
+            "Nebula",
+            "AC_int_subopt",
+            "AC_int_opt",
+            "AC_opt pred.accuracy",
+        ]);
+        for (cores, rss, neb, sub, opt, acc) in rows {
+            t.row(&[
+                &cores.to_string(),
+                &format!("{rss:.1}"),
+                &format!("{neb:.1}"),
+                &format!("{sub:.1}"),
+                &format!("{opt:.1}"),
+                &if acc.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", acc * 100.0)
+                },
+            ]);
+        }
+        t.print();
+        println!("(all throughput columns in MRPS with p99 <= {slo})\n");
+    }
+}

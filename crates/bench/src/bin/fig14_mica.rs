@@ -1,0 +1,138 @@
+//! Fig. 14 — MICA over nanoRPC on 64 cores under real-world traffic:
+//! p99 latency (log scale in the paper) and SLO-violation ratio vs
+//! throughput, comparing Nebula with AC_rss-ISA and AC_rss-MSR.
+//!
+//! Paper shape: Nebula holds sub-µs p99 until ~250 MRPS, then collapses
+//! (head-of-line blocking behind SCANs, up to 47% violations); AC_rss-ISA
+//! degrades gracefully to ~2.5× higher throughput; AC_rss-MSR tracks ISA
+//! at ~91% of its throughput with noisier tails.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin fig14_mica
+//! ```
+
+use altocumulus::{AcConfig, Altocumulus, Interface};
+use bench::parallel_map;
+use mica::workload::KvsWorkload;
+use schedulers::common::RpcSystem;
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use simcore::report::Table;
+use simcore::time::SimDuration;
+
+const CORES: usize = 64;
+const REQUESTS: usize = 300_000;
+
+fn ac_config(interface: Interface, mean: SimDuration) -> AcConfig {
+    // 4 managers x 16-core groups (§IX-D); nanoRPC-era stack; one dispatch
+    // op moves a cache line of descriptors. The MSR variant is tuned for
+    // its interface (§VI: "a larger Period usually couples with a larger
+    // Bulk"): its ~300ns-per-invocation runtime is amortized over a longer
+    // period so the manager keeps most of its dispatch bandwidth.
+    let mut cfg = AcConfig::ac_rss(4, 16, mean);
+    cfg.stack = rpcstack::stack::StackModel::nano_rpc();
+    cfg.interface = interface;
+    cfg.dispatch_batch = 8;
+    // Fig. 8's local policy: workers hold up to 2 requests, so the
+    // manager-to-worker transfer is prefetch-hidden at 100ns-scale services.
+    cfg.local_bound = 2;
+    cfg.threshold =
+        altocumulus::ThresholdPolicy::Model(queueing::ThresholdModel::identity());
+    match interface {
+        Interface::Isa => {
+            cfg.bulk = 32;
+            cfg.concurrency = 4;
+            cfg.period = SimDuration::from_ns(100);
+        }
+        Interface::Msr => {
+            cfg.bulk = 40;
+            cfg.concurrency = 4;
+            cfg.period = SimDuration::from_ns(2_000);
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let kvs = KvsWorkload::fig14();
+    let mean = kvs.mean_service();
+    let capacity_mrps = CORES as f64 / mean.as_secs_f64() / 1e6;
+    let slo = SimDuration::from_ns_f64(mean.as_ns_f64() * 10.0);
+    println!(
+        "Fig. 14: MICA GET/SET (~{}) + 0.5% SCAN (~{}), 64 cores, SLO {}\n\
+         mix mean {} => ideal capacity ~{:.0} MRPS\n",
+        kvs.service.get_time(kvs.value_bytes),
+        kvs.service.scan_time(kvs.value_bytes),
+        slo,
+        mean,
+        capacity_mrps
+    );
+
+    let loads: Vec<f64> = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    struct Series {
+        name: &'static str,
+        pts: Vec<(f64, SimDuration, f64)>, // (mrps, p99, viol)
+    }
+
+    let systems: Vec<&'static str> = vec!["Nebula", "AC_rss-ISA", "AC_rss-MSR"];
+    let series = parallel_map(systems, 3, |name| {
+        let kvs = KvsWorkload::fig14();
+        let mean = kvs.mean_service();
+        let pts = loads
+            .iter()
+            .map(|&load| {
+                let rate = load * CORES as f64 / mean.as_secs_f64();
+                let trace = kvs.trace_clustered(rate, 8, REQUESTS, 81);
+                let mut sys: Box<dyn RpcSystem> = match name {
+                    "Nebula" => Box::new(Jbsq::new(JbsqVariant::Nebula, CORES)),
+                    "AC_rss-ISA" => {
+                        Box::new(Altocumulus::new(ac_config(Interface::Isa, mean)))
+                    }
+                    "AC_rss-MSR" => {
+                        Box::new(Altocumulus::new(ac_config(Interface::Msr, mean)))
+                    }
+                    _ => unreachable!(),
+                };
+                let r = sys.run(&trace);
+                (r.throughput_rps() / 1e6, r.p99(), r.violation_ratio(slo))
+            })
+            .collect();
+        Series { name, pts }
+    });
+
+    let mut t = Table::new(&["system", "MRPS", "p99_us", "viol%"]);
+    for s in &series {
+        for (mrps, p99, viol) in &s.pts {
+            t.row(&[
+                s.name,
+                &format!("{mrps:.0}"),
+                &format!("{:.2}", p99.as_us_f64()),
+                &format!("{:.2}", viol * 100.0),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\nthroughput@SLO (p99 <= {slo}):");
+    let mut t2 = Table::new(&["system", "MRPS@SLO"]);
+    let mut best = Vec::new();
+    for s in &series {
+        let mrps = s
+            .pts
+            .iter()
+            .filter(|(_, p99, _)| *p99 <= slo)
+            .map(|(m, _, _)| *m)
+            .fold(0.0f64, f64::max);
+        best.push((s.name, mrps));
+        t2.row(&[s.name, &format!("{mrps:.0}")]);
+    }
+    t2.print();
+    let get = |n: &str| best.iter().find(|(b, _)| *b == n).map(|(_, v)| *v).unwrap_or(0.0);
+    let (neb, isa, msr) = (get("Nebula"), get("AC_rss-ISA"), get("AC_rss-MSR"));
+    if neb > 0.0 && isa > 0.0 {
+        println!(
+            "\nAC_rss-ISA vs Nebula: {:.2}x (paper: 2.5x) | MSR/ISA: {:.0}% (paper: 91%)",
+            isa / neb,
+            msr / isa * 100.0
+        );
+    }
+}

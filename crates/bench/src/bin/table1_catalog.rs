@@ -1,0 +1,37 @@
+//! Table I — comparison of Altocumulus with prior art: scheduling scheme,
+//! manager, communication mechanism and scalability bottleneck per system.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin table1_catalog
+//! ```
+
+use schedulers::catalog::table1;
+use simcore::report::Table;
+
+fn main() {
+    println!("Table I: comparison of Altocumulus with prior art\n");
+    let mut t = Table::new(&[
+        "system",
+        "scalability bottleneck",
+        "scheduling scheme",
+        "scheduling manager",
+        "communication mechanism",
+    ]);
+    for e in table1() {
+        t.row(&[
+            e.system,
+            e.bottleneck,
+            e.scheme.label(),
+            e.manager.label(),
+            e.communication,
+        ]);
+    }
+    t.print();
+
+    println!("\ncustom ISA (Table III):");
+    let mut t2 = Table::new(&["instruction", "description"]);
+    for i in altocumulus::hw::instruction_set() {
+        t2.row(&[i.mnemonic, i.description]);
+    }
+    t2.print();
+}

@@ -1,0 +1,184 @@
+//! # bench — experiment harness regenerating the paper's tables and figures
+//!
+//! Each `src/bin/figNN_*.rs` binary reproduces one figure of the paper's
+//! evaluation and prints its series as an aligned table (see
+//! `EXPERIMENTS.md` for the recorded paper-vs-measured comparison). This
+//! library holds the shared sweep scaffolding.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use schedulers::common::{RpcSystem, SystemResult};
+use simcore::time::SimDuration;
+use workload::trace::Trace;
+use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
+
+/// Runs `f` over `items` on up to `threads` OS threads, preserving order.
+///
+/// The sweeps are embarrassingly parallel (one simulation per load point);
+/// scoped threads keep the code dependency-free.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut batches: Vec<Vec<(usize, T)>> = Vec::new();
+    let mut it = items.into_iter().enumerate();
+    loop {
+        let batch: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let mut out: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                let f = &f;
+                scope.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Builds a Poisson trace for `dist` at `load` on `cores` cores.
+pub fn poisson_trace(
+    dist: ServiceDistribution,
+    load: f64,
+    cores: usize,
+    requests: usize,
+    connections: u32,
+    seed: u64,
+) -> Trace {
+    let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
+    TraceBuilder::new(PoissonProcess::new(rate), dist)
+        .requests(requests)
+        .connections(connections)
+        .seed(seed)
+        .build()
+}
+
+/// One measured point of a comparison sweep.
+#[derive(Debug, Clone)]
+pub struct MeasuredPoint {
+    /// Offered load used for the trace.
+    pub load: f64,
+    /// Achieved throughput in MRPS.
+    pub mrps: f64,
+    /// 99th-percentile latency.
+    pub p99: SimDuration,
+    /// Fraction violating the SLO.
+    pub violation_ratio: f64,
+}
+
+/// Parameters of a [`sweep_system`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSpec {
+    /// Service-time distribution.
+    pub dist: ServiceDistribution,
+    /// Core count the load is relative to.
+    pub cores: usize,
+    /// Requests per trace.
+    pub requests: usize,
+    /// Client connections per trace.
+    pub connections: u32,
+    /// SLO for violation accounting.
+    pub slo: SimDuration,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// Runs `system` across `loads` on freshly built traces and returns one
+/// point per load.
+pub fn sweep_system<S: RpcSystem>(
+    system: &mut S,
+    spec: &SweepSpec,
+    loads: &[f64],
+) -> Vec<MeasuredPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let trace = poisson_trace(
+                spec.dist,
+                load,
+                spec.cores,
+                spec.requests,
+                spec.connections,
+                spec.seed,
+            );
+            let r = system.run(&trace);
+            point_from(&r, load, spec.slo)
+        })
+        .collect()
+}
+
+/// Converts a [`SystemResult`] into a [`MeasuredPoint`].
+pub fn point_from(r: &SystemResult, load: f64, slo: SimDuration) -> MeasuredPoint {
+    MeasuredPoint {
+        load,
+        mrps: r.throughput_rps() / 1e6,
+        p99: r.p99(),
+        violation_ratio: r.violation_ratio(slo),
+    }
+}
+
+/// Finds throughput@SLO in MRPS: the achieved throughput at the highest
+/// load whose p99 meets `slo`.
+pub fn throughput_at_slo_mrps<F>(mut run_at: F, slo: SimDuration) -> Option<f64>
+where
+    F: FnMut(f64) -> (SimDuration, f64),
+{
+    let mut p99_cache = std::collections::HashMap::new();
+    let mut eval = |load: f64| {
+        let key = (load * 10_000.0).round() as u64;
+        let entry = p99_cache.entry(key).or_insert_with(|| run_at(load));
+        entry.0
+    };
+    let best = schedulers::sweep::throughput_at_slo(&mut eval, slo, 0.05, 0.99, 0.02)?;
+    let key = (best * 10_000.0).round() as u64;
+    Some(p99_cache[&key].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_targets_load() {
+        let d = ServiceDistribution::Fixed(SimDuration::from_us(1));
+        let t = poisson_trace(d, 0.7, 16, 50_000, 64, 1);
+        assert!((t.offered_load(16) - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), 7, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        assert_eq!(parallel_map(vec![9], 4, |x: i32| x + 1), vec![10]);
+    }
+}

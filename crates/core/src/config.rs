@@ -1,0 +1,210 @@
+//! Configuration of an Altocumulus deployment.
+
+use crate::hw::interface::Interface;
+use crate::runtime::predictor::ThresholdPolicy;
+use queueing::threshold::ThresholdModel;
+use rpcstack::nic::Steering;
+use rpcstack::stack::StackModel;
+use simcore::time::SimDuration;
+
+/// How the NIC attaches to the CPU (paper §VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Hardware-terminated integrated NIC (ACint): NIC→manager transfers at
+    /// cache-coherence speed, intra-group dispatch in hardware.
+    Integrated,
+    /// Commodity PCIe NIC with RSS (ACrss): NIC→manager over PCIe, manager
+    /// software dispatches at ~70 cycles/message.
+    RssPcie,
+}
+
+impl Attachment {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Attachment::Integrated => "AC_int",
+            Attachment::RssPcie => "AC_rss",
+        }
+    }
+}
+
+/// Which imbalance-pattern roles a manager acts on (ablation knob; the
+/// paper's design uses all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternPolicy {
+    /// Hill + Valley + Pairing (the paper's classifier).
+    All,
+    /// Only the threshold trigger — no pattern-driven migrations.
+    ThresholdOnly,
+}
+
+/// Full configuration of an Altocumulus system.
+#[derive(Debug, Clone)]
+pub struct AcConfig {
+    /// Number of groups (= manager cores = NetRX queues).
+    pub groups: usize,
+    /// Cores per group including the manager (paper default 16: one manager
+    /// + 15 workers).
+    pub group_size: usize,
+    /// Migration/runtime period `P` (paper sweeps 10–1000 ns; default 200).
+    pub period: SimDuration,
+    /// Max descriptors batched per migration decision (paper sweeps 8–40;
+    /// default 16).
+    pub bulk: usize,
+    /// Concurrent MIGRATE flows per decision (paper: n/4, n/2 or n; default
+    /// 8 for 16 managers).
+    pub concurrency: usize,
+    /// Threshold selection policy.
+    pub threshold: ThresholdPolicy,
+    /// Software–hardware interface (custom ISA vs MSR).
+    pub interface: Interface,
+    /// NIC attachment.
+    pub attachment: Attachment,
+    /// RPC stack executed per request.
+    pub stack: StackModel,
+    /// Per-worker queue bound including the in-service slot. 1 = strict
+    /// local c-FCFS (queueing stays at the manager, where it can migrate);
+    /// 2 = JBSQ(2)-style prefetch that hides dispatch latency.
+    pub local_bound: usize,
+    /// Descriptors moved per serialized manager dispatch operation (ACrss
+    /// only; one 70-cycle op can carry a cache line of descriptors).
+    pub dispatch_batch: usize,
+    /// Offline-profiled mean service time (µ input of Fig. 5).
+    pub mean_service: SimDuration,
+    /// Master toggle for the proactive runtime (off = plain grouped d-FCFS,
+    /// the "before the runtime has started" baseline of Fig. 14).
+    pub migration_enabled: bool,
+    /// The Algorithm-1 line-8 guard that forbids migrations into
+    /// equally-long queues (ablation: disabling it allows harmful moves).
+    pub guard_enabled: bool,
+    /// Run the predictor every period but *do not* migrate: requests beyond
+    /// the threshold are only recorded in `MigrationStats::predicted`.
+    /// Used to measure prediction accuracy on the unperturbed trajectory
+    /// (the paper's accuracy metric, §IV).
+    pub predict_only: bool,
+    /// Which pattern roles trigger migrations (ablation).
+    pub patterns: PatternPolicy,
+    /// Optional multi-application isolation: groups partitioned among
+    /// tenants, steering and migration confined within each tenant's
+    /// partition (the paper's future-work study; see [`crate::tenancy`]).
+    pub tenancy: Option<crate::tenancy::Tenancy>,
+    /// NIC steering across NetRX queues.
+    pub steering: Steering,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AcConfig {
+    /// ACint defaults: `groups` groups of `group_size` cores on an
+    /// integrated NIC, paper-default migration parameters
+    /// (P=200 ns, Bulk=16, Concurrency=min(8, groups)).
+    pub fn ac_int(groups: usize, group_size: usize, mean_service: SimDuration) -> Self {
+        AcConfig {
+            groups,
+            group_size,
+            period: SimDuration::from_ns(200),
+            bulk: 16,
+            concurrency: 8.min(groups.max(1)),
+            threshold: ThresholdPolicy::Model(ThresholdModel::paper_fixed()),
+            interface: Interface::Isa,
+            attachment: Attachment::Integrated,
+            stack: StackModel::nano_rpc(),
+            local_bound: 1,
+            dispatch_batch: 4,
+            mean_service,
+            migration_enabled: true,
+            guard_enabled: true,
+            predict_only: false,
+            patterns: PatternPolicy::All,
+            tenancy: None,
+            steering: Steering::rss(),
+            seed: 0,
+        }
+    }
+
+    /// ACrss defaults: commodity PCIe RSS NIC, eRPC-class stack, manager
+    /// software dispatch.
+    pub fn ac_rss(groups: usize, group_size: usize, mean_service: SimDuration) -> Self {
+        AcConfig {
+            attachment: Attachment::RssPcie,
+            stack: StackModel::erpc(),
+            ..Self::ac_int(groups, group_size, mean_service)
+        }
+    }
+
+    /// Number of worker cores per group.
+    pub fn workers_per_group(&self) -> usize {
+        self.group_size - 1
+    }
+
+    /// Total cores (managers + workers).
+    pub fn total_cores(&self) -> usize {
+        self.groups * self.group_size
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally impossible configuration.
+    pub fn validate(&self) {
+        assert!(self.groups >= 1, "need at least one group");
+        assert!(self.group_size >= 2, "a group is one manager plus >=1 worker");
+        assert!(self.bulk >= 1 && self.concurrency >= 1);
+        assert!(
+            self.concurrency <= self.bulk,
+            "concurrency > bulk would send empty MIGRATE messages"
+        );
+        assert!(self.local_bound >= 1, "workers need at least one slot");
+        assert!(self.dispatch_batch >= 1);
+        assert!(!self.period.is_zero(), "period must be positive");
+        assert!(!self.mean_service.is_zero(), "mean service must be positive");
+        if let Some(t) = &self.tenancy {
+            assert_eq!(
+                t.groups(),
+                self.groups,
+                "tenancy must assign every group exactly once"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        AcConfig::ac_int(16, 16, SimDuration::from_ns(850)).validate();
+        AcConfig::ac_rss(4, 16, SimDuration::from_ns(850)).validate();
+    }
+
+    #[test]
+    fn derived_counts() {
+        let c = AcConfig::ac_int(16, 16, SimDuration::from_ns(850));
+        assert_eq!(c.workers_per_group(), 15);
+        assert_eq!(c.total_cores(), 256);
+        assert_eq!(c.attachment.label(), "AC_int");
+    }
+
+    #[test]
+    fn rss_preset_differs() {
+        let c = AcConfig::ac_rss(4, 16, SimDuration::from_ns(850));
+        assert_eq!(c.attachment, Attachment::RssPcie);
+        assert_eq!(c.attachment.label(), "AC_rss");
+    }
+
+    #[test]
+    #[should_panic(expected = "one manager plus")]
+    fn rejects_tiny_groups() {
+        AcConfig::ac_int(4, 1, SimDuration::from_ns(850)).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty MIGRATE")]
+    fn rejects_concurrency_over_bulk() {
+        let mut c = AcConfig::ac_int(16, 16, SimDuration::from_ns(850));
+        c.concurrency = 32;
+        c.validate();
+    }
+}

@@ -1,0 +1,138 @@
+//! Bounded send/receive FIFOs of the manager-tile messaging hardware.
+//!
+//! The paper sizes each FIFO at 16 entries of 14 B descriptors (224 B per
+//! FIFO, §V-B); a full receive FIFO is what triggers a NACK.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that rejects pushes when full (hardware semantics — the
+/// controller must check before enqueuing, and a full receive FIFO NACKs the
+/// incoming MIGRATE).
+///
+/// # Examples
+///
+/// ```
+/// use altocumulus::hw::fifo::BoundedFifo;
+///
+/// let mut f = BoundedFifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert_eq!(f.push(3), Err(3)); // full: value handed back
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a FIFO holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The paper's 16-entry send/receive FIFO.
+    pub fn paper_sized() -> Self {
+        Self::new(16)
+    }
+
+    /// Attempts to enqueue; on a full FIFO the value is returned to the
+    /// caller (who will NACK or drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the FIFO is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(value);
+        }
+        self.items.push_back(value);
+        Ok(())
+    }
+
+    /// Dequeues the head, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True iff at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_when_full_and_recovers() {
+        let mut f = BoundedFifo::new(1);
+        f.push("a").unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.pop(), Some("a"));
+        assert!(f.push("b").is_ok());
+    }
+
+    #[test]
+    fn paper_sized_is_16() {
+        let f = BoundedFifo::<u8>::paper_sized();
+        assert_eq!(f.capacity(), 16);
+        assert_eq!(f.free(), 16);
+    }
+
+    #[test]
+    fn free_tracks_occupancy() {
+        let mut f = BoundedFifo::new(3);
+        f.push(()).unwrap();
+        assert_eq!(f.free(), 2);
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BoundedFifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The four Altocumulus message types (paper Table II, Fig. 8).
+//!
+//! Only descriptors travel: each queued RPC is represented by a 14 B
+//! descriptor (8 B pointer + 48-bit address, §V-B) while the payload stays in
+//! the LLC — the key traffic saving over ZygOS-style whole-message moves.
+
+use simcore::time::SimTime;
+use workload::request::RequestId;
+
+/// Bytes per migrated descriptor (8 B message pointer + 6 B address).
+pub const DESCRIPTOR_BYTES: u32 = 14;
+
+/// Bytes of MIGRATE/UPDATE header (req_num, src_mid, dst_mid, tail pointer).
+pub const HEADER_BYTES: u32 = 16;
+
+/// A 14-byte descriptor of one queued RPC request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// The request it points at.
+    pub id: RequestId,
+    /// Index into the driving trace (simulation bookkeeping).
+    pub trace_idx: usize,
+    /// When the request first arrived at a NetRX queue.
+    pub first_enqueued: SimTime,
+}
+
+/// One Altocumulus protocol message between manager tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Proactively move descriptors from `src` to `dst` (Table II: MIGRATE).
+    Migrate {
+        /// Sending manager.
+        src: usize,
+        /// Receiving manager.
+        dst: usize,
+        /// The batched descriptors (req_num = len()).
+        descriptors: Vec<Descriptor>,
+    },
+    /// Broadcast of the local queue depth (Table II: UPDATE).
+    Update {
+        /// Originating manager.
+        src: usize,
+        /// Its NetRX queue depth at send time.
+        queue_len: u32,
+    },
+    /// Acknowledge a completed MIGRATE: the source may invalidate its MR
+    /// entries.
+    Ack {
+        /// Manager acknowledging (the migration destination).
+        src: usize,
+        /// Number of descriptors accepted.
+        accepted: usize,
+    },
+    /// Reject a MIGRATE (full receive FIFO / MRs); descriptors ride back so
+    /// the simulated source can restore them (in hardware they were never
+    /// invalidated from the source MRs).
+    Nack {
+        /// Manager rejecting.
+        src: usize,
+        /// The rejected descriptors.
+        descriptors: Vec<Descriptor>,
+    },
+}
+
+impl Message {
+    /// Wire size in bytes (drives NoC serialization).
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            Message::Migrate { descriptors, .. } => {
+                HEADER_BYTES + DESCRIPTOR_BYTES * descriptors.len() as u32
+            }
+            Message::Update { .. } => HEADER_BYTES,
+            Message::Ack { .. } => HEADER_BYTES,
+            // The NACK itself is header-only on the wire; descriptors stay in
+            // the source MR. We carry them in the enum for bookkeeping only.
+            Message::Nack { .. } => HEADER_BYTES,
+        }
+    }
+
+    /// Short label for logging/stats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Migrate { .. } => "MIGRATE",
+            Message::Update { .. } => "UPDATE",
+            Message::Ack { .. } => "ACK",
+            Message::Nack { .. } => "NACK",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(i: u64) -> Descriptor {
+        Descriptor {
+            id: RequestId(i),
+            trace_idx: i as usize,
+            first_enqueued: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn descriptor_is_14_bytes_on_wire() {
+        let m = Message::Migrate {
+            src: 0,
+            dst: 1,
+            descriptors: vec![desc(1)],
+        };
+        assert_eq!(m.wire_bytes(), HEADER_BYTES + 14);
+    }
+
+    #[test]
+    fn bulk_migrate_scales_linearly() {
+        let m = Message::Migrate {
+            src: 0,
+            dst: 1,
+            descriptors: (0..40).map(desc).collect(),
+        };
+        assert_eq!(m.wire_bytes(), 16 + 14 * 40);
+    }
+
+    #[test]
+    fn control_messages_are_header_only() {
+        assert_eq!(Message::Update { src: 0, queue_len: 9 }.wire_bytes(), 16);
+        assert_eq!(Message::Ack { src: 0, accepted: 8 }.wire_bytes(), 16);
+        assert_eq!(
+            Message::Nack {
+                src: 0,
+                descriptors: vec![desc(0); 8]
+            }
+            .wire_bytes(),
+            16
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Message::Update { src: 0, queue_len: 0 }.label(), "UPDATE");
+        assert_eq!(
+            Message::Migrate { src: 0, dst: 1, descriptors: vec![] }.label(),
+            "MIGRATE"
+        );
+    }
+
+    #[test]
+    fn migrate_much_smaller_than_payload_moves() {
+        // ZygOS moves whole messages (up to ~2KB); we move 14B descriptors.
+        let m = Message::Migrate {
+            src: 0,
+            dst: 1,
+            descriptors: vec![desc(0)],
+        };
+        assert!(m.wire_bytes() < 2048 / 10);
+    }
+}

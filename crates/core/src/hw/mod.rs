@@ -1,0 +1,15 @@
+//! The hardware messaging mechanism of the manager tile (paper §V, Fig. 6).
+//!
+//! Modeled components: bounded send/receive [`fifo`]s, the migration and
+//! parameter [`registers`], the four protocol [`messages`], and the
+//! software–hardware [`interface`] (custom `altom_*` ISA vs. x86 MSRs).
+
+pub mod fifo;
+pub mod interface;
+pub mod messages;
+pub mod registers;
+
+pub use fifo::BoundedFifo;
+pub use interface::{instruction_set, Instruction, Interface};
+pub use messages::{Descriptor, Message, DESCRIPTOR_BYTES, HEADER_BYTES};
+pub use registers::{MigrationRegisters, ParameterRegisters};

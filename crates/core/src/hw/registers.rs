@@ -1,0 +1,226 @@
+//! Migration registers (MRs) and parameter registers (PRs) of the manager
+//! tile (paper Fig. 6, §V-B).
+//!
+//! MRs stage the descriptors of an in-flight migration (the paper bounds them
+//! at E[N̂q] ≈ 11 entries × 14 B = 154 B per manager). PRs hold the runtime
+//! parameters the controller reads when generating messages: `Period`,
+//! `Bulk`, `Concurrency`, the migration threshold `T`, and the queue-length
+//! vector `q`.
+
+use crate::hw::messages::Descriptor;
+use simcore::time::SimDuration;
+
+/// The migration-register file: a bounded staging buffer for descriptors
+/// being migrated out of (or into) this manager.
+#[derive(Debug, Clone)]
+pub struct MigrationRegisters {
+    slots: Vec<Descriptor>,
+    capacity: usize,
+}
+
+impl MigrationRegisters {
+    /// Creates an MR file with `capacity` descriptor slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MR capacity must be positive");
+        MigrationRegisters {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The paper's 11-entry (154 B) MR file.
+    pub fn paper_sized() -> Self {
+        Self::new(11)
+    }
+
+    /// Stages descriptors for an outgoing MIGRATE. Only as many as fit are
+    /// accepted; the rest are returned so the caller can leave them queued.
+    pub fn stage(&mut self, descriptors: Vec<Descriptor>) -> Vec<Descriptor> {
+        let free = self.capacity - self.slots.len();
+        let mut rest = descriptors;
+        let take = rest.len().min(free);
+        let staged: Vec<Descriptor> = rest.drain(..take).collect();
+        self.slots.extend(staged);
+        rest
+    }
+
+    /// Invalidates `n` staged entries after an ACK (paper: the source
+    /// invalidates req_num entries on ACK).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` entries are staged.
+    pub fn invalidate(&mut self, n: usize) {
+        assert!(n <= self.slots.len(), "invalidating more MRs than staged");
+        self.slots.drain(..n);
+    }
+
+    /// Drains and returns all staged entries (used on NACK to restore them
+    /// to the NetRX queue in the simulation).
+    pub fn drain(&mut self) -> Vec<Descriptor> {
+        std::mem::take(&mut self.slots)
+    }
+
+    /// Number of staged descriptors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.slots.len()
+    }
+
+    /// Total capacity in descriptors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total size in bytes (14 B per slot).
+    pub fn size_bytes(&self) -> u32 {
+        self.capacity as u32 * crate::hw::messages::DESCRIPTOR_BYTES
+    }
+}
+
+/// The parameter registers written by PREDICT_CONFIG and read by the
+/// controller/migrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterRegisters {
+    /// Interval between runtime invocations.
+    pub period: SimDuration,
+    /// Maximum descriptors batched per migration decision.
+    pub bulk: usize,
+    /// Concurrent MIGRATE flows per decision.
+    pub concurrency: usize,
+    /// Current migration threshold `T` (queue length).
+    pub threshold: usize,
+    /// Latest known queue length of every manager (`q` vector), refreshed by
+    /// UPDATE messages.
+    pub queue_lens: Vec<u32>,
+}
+
+impl ParameterRegisters {
+    /// Creates PRs for an `n_managers` system with the given initial
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bulk/concurrency or `concurrency > bulk` (each MIGRATE
+    /// must carry at least one descriptor).
+    pub fn new(
+        n_managers: usize,
+        period: SimDuration,
+        bulk: usize,
+        concurrency: usize,
+    ) -> Self {
+        assert!(bulk > 0, "bulk must be positive");
+        assert!(concurrency > 0, "concurrency must be positive");
+        assert!(
+            concurrency <= bulk,
+            "concurrency {concurrency} exceeds bulk {bulk}: messages would be empty"
+        );
+        ParameterRegisters {
+            period,
+            bulk,
+            concurrency,
+            threshold: usize::MAX,
+            queue_lens: vec![0; n_managers],
+        }
+    }
+
+    /// The per-MIGRATE message size `S = Bulk / Concurrency` (paper §V-A),
+    /// at least 1.
+    pub fn message_size(&self) -> usize {
+        (self.bulk / self.concurrency).max(1)
+    }
+
+    /// Handles an UPDATE from `src`.
+    pub fn record_update(&mut self, src: usize, queue_len: u32) {
+        if src < self.queue_lens.len() {
+            self.queue_lens[src] = queue_len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimTime;
+    use workload::request::RequestId;
+
+    fn desc(i: u64) -> Descriptor {
+        Descriptor {
+            id: RequestId(i),
+            trace_idx: i as usize,
+            first_enqueued: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn stage_respects_capacity() {
+        let mut mr = MigrationRegisters::new(4);
+        let rest = mr.stage((0..6).map(desc).collect());
+        assert_eq!(mr.len(), 4);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].id, RequestId(4));
+    }
+
+    #[test]
+    fn invalidate_on_ack() {
+        let mut mr = MigrationRegisters::new(8);
+        mr.stage((0..5).map(desc).collect());
+        mr.invalidate(3);
+        assert_eq!(mr.len(), 2);
+        assert_eq!(mr.drain().first().unwrap().id, RequestId(3));
+        assert!(mr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more MRs than staged")]
+    fn over_invalidate_panics() {
+        let mut mr = MigrationRegisters::new(4);
+        mr.stage(vec![desc(0)]);
+        mr.invalidate(2);
+    }
+
+    #[test]
+    fn paper_sizing() {
+        let mr = MigrationRegisters::paper_sized();
+        assert_eq!(mr.capacity(), 11);
+        assert_eq!(mr.size_bytes(), 154);
+    }
+
+    #[test]
+    fn message_size_is_bulk_over_concurrency() {
+        let pr = ParameterRegisters::new(4, SimDuration::from_ns(200), 16, 8);
+        assert_eq!(pr.message_size(), 2);
+        let pr = ParameterRegisters::new(4, SimDuration::from_ns(200), 40, 4);
+        assert_eq!(pr.message_size(), 10);
+        let pr = ParameterRegisters::new(4, SimDuration::from_ns(200), 3, 3);
+        assert_eq!(pr.message_size(), 1);
+    }
+
+    #[test]
+    fn update_recording() {
+        let mut pr = ParameterRegisters::new(3, SimDuration::from_ns(200), 16, 4);
+        pr.record_update(1, 42);
+        assert_eq!(pr.queue_lens, vec![0, 42, 0]);
+        pr.record_update(99, 7); // out of range: ignored
+        assert_eq!(pr.queue_lens.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bulk")]
+    fn concurrency_cannot_exceed_bulk() {
+        ParameterRegisters::new(4, SimDuration::from_ns(200), 4, 8);
+    }
+}

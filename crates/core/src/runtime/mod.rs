@@ -1,0 +1,13 @@
+//! The decentralized software runtime (paper §VI, Algorithm 1).
+//!
+//! Every manager core periodically: synchronizes queue lengths (UPDATE),
+//! re-evaluates the SLO-violation threshold from the measured load
+//! ([`predictor`]), classifies the queue-length pattern and plans MIGRATE
+//! messages ([`patterns`]). The event-driven execution lives in
+//! [`crate::system`].
+
+pub mod patterns;
+pub mod predictor;
+
+pub use patterns::{classify, guard_allows, plan_migrations, MigrationOrder, Pattern};
+pub use predictor::{LoadEstimator, ThresholdPolicy};

@@ -1,0 +1,306 @@
+//! Queue-length pattern classification (paper §VI, Fig. 9).
+//!
+//! Every period, each manager classifies the synchronized queue-length
+//! vector `q` into one of three imbalance patterns, which determine the
+//! MIGRATE fan-out:
+//!
+//! - **Hill**: the longest queue exceeds the second longest by ≥ `Bulk` —
+//!   the longest queue sprays batches to several shorter queues.
+//! - **Valley**: the shortest queue is below the second shortest by ≥
+//!   `Bulk` — every other manager sends one batch to the valley.
+//! - **Pairing**: a gradual slope — the i-th longest queue sends to the
+//!   i-th shortest.
+//!
+//! Because `q` is synchronized by UPDATE broadcasts, every manager computes
+//! the same classification and only acts in its own role.
+
+/// The detected imbalance pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// One queue towers above the rest.
+    Hill,
+    /// One queue is starved below the rest.
+    Valley,
+    /// A gradual imbalance across queues.
+    Pairing,
+}
+
+impl Pattern {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Hill => "hill",
+            Pattern::Valley => "valley",
+            Pattern::Pairing => "pairing",
+        }
+    }
+}
+
+/// Classifies `q` (one entry per manager) against batch size `bulk`.
+///
+/// Returns `None` when queues are too balanced for any migration to be
+/// worthwhile (max spread < `bulk`).
+///
+/// # Examples
+///
+/// ```
+/// use altocumulus::runtime::patterns::{classify, Pattern};
+///
+/// assert_eq!(classify(&[30, 30, 70, 30], 40), Some(Pattern::Hill));
+/// assert_eq!(classify(&[50, 50, 10, 50], 40), Some(Pattern::Valley));
+/// assert_eq!(classify(&[80, 65, 50, 35], 20), Some(Pattern::Pairing));
+/// assert_eq!(classify(&[30, 31, 32, 33], 40), None);
+/// ```
+pub fn classify(q: &[u32], bulk: usize) -> Option<Pattern> {
+    if q.len() < 2 {
+        return None;
+    }
+    let bulk = bulk as u32;
+    let mut sorted: Vec<u32> = q.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let (min, min2) = (sorted[0], sorted[1]);
+    let (max2, max) = (sorted[n - 2], sorted[n - 1]);
+    if max - min < bulk {
+        return None; // balanced enough
+    }
+    if max - max2 >= bulk {
+        Some(Pattern::Hill)
+    } else if min2 - min >= bulk {
+        Some(Pattern::Valley)
+    } else {
+        Some(Pattern::Pairing)
+    }
+}
+
+/// One migration order produced by the planner: send `count` descriptors
+/// from the local queue to manager `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationOrder {
+    /// Destination manager index.
+    pub dst: usize,
+    /// Number of descriptors to move.
+    pub count: usize,
+}
+
+/// Plans this period's MIGRATE messages for manager `me` (paper Algorithm 1
+/// lines 4–13).
+///
+/// Triggers on either condition: the local queue exceeds the threshold `T`,
+/// or the global pattern assigns `me` a sender role. The per-message size is
+/// `S = bulk / concurrency`; at most `concurrency` destinations are used.
+/// The caller still applies the per-message guard
+/// (`q[me] − S < q[dst] + S` forbids) before actually sending.
+pub fn plan_migrations(
+    me: usize,
+    q: &[u32],
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+) -> Vec<MigrationOrder> {
+    plan_with_patterns(me, q, threshold, bulk, concurrency, true)
+}
+
+/// Ablation variant of [`plan_migrations`]: only the threshold trigger, no
+/// Hill/Valley/Pairing roles.
+pub fn plan_threshold_only(
+    me: usize,
+    q: &[u32],
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+) -> Vec<MigrationOrder> {
+    plan_with_patterns(me, q, threshold, bulk, concurrency, false)
+}
+
+fn plan_with_patterns(
+    me: usize,
+    q: &[u32],
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+    use_patterns: bool,
+) -> Vec<MigrationOrder> {
+    assert!(me < q.len(), "manager index out of range");
+    assert!(bulk > 0 && concurrency > 0);
+    if q.len() < 2 {
+        return Vec::new();
+    }
+    let s = (bulk / concurrency).max(1);
+    let my_len = q[me] as usize;
+
+    // Rank managers by queue length (stable by index for determinism).
+    let mut by_len: Vec<usize> = (0..q.len()).collect();
+    by_len.sort_by_key(|&i| (q[i], i));
+    let shortest = by_len[0];
+    let longest = *by_len.last().expect("non-empty q");
+
+    let mut orders: Vec<MigrationOrder> = Vec::new();
+
+    // Threshold trigger: queue beyond T is predicted to violate; spray the
+    // excess over the `concurrency` least-loaded other managers.
+    if my_len > threshold {
+        let mut excess = my_len - threshold;
+        for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
+            if excess == 0 {
+                break;
+            }
+            let count = s.min(excess);
+            orders.push(MigrationOrder { dst, count });
+            excess -= count;
+        }
+    }
+
+    // Pattern trigger.
+    match if use_patterns { classify(q, bulk) } else { None } {
+        Some(Pattern::Hill) if me == longest => {
+            for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
+                orders.push(MigrationOrder { dst, count: s });
+            }
+        }
+        Some(Pattern::Valley) if me != shortest => {
+            orders.push(MigrationOrder {
+                dst: shortest,
+                count: s,
+            });
+        }
+        Some(Pattern::Pairing) => {
+            // The r-th longest sends to the r-th shortest, r = 0.. up to
+            // concurrency pairs and only while the sender is actually longer.
+            let n = q.len();
+            for r in 0..concurrency.min(n / 2) {
+                let sender = by_len[n - 1 - r];
+                let receiver = by_len[r];
+                if sender == me && receiver != me && q[sender] > q[receiver] {
+                    orders.push(MigrationOrder {
+                        dst: receiver,
+                        count: s,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Deduplicate by destination, keeping the larger count.
+    orders.sort_by_key(|o| o.dst);
+    orders.dedup_by(|a, b| {
+        if a.dst == b.dst {
+            b.count = b.count.max(a.count);
+            true
+        } else {
+            false
+        }
+    });
+    orders
+}
+
+/// The per-message migration guard (Algorithm 1 line 8): forbid a migration
+/// that would leave the migrated requests in a *longer* queue than they came
+/// from.
+pub fn guard_allows(q_src: u32, q_dst: u32, s: usize) -> bool {
+    // Paper: skip when q[j] - S < q[dst] + S.
+    (q_src as i64 - s as i64) >= (q_dst as i64 + s as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_walkthrough_example() {
+        // §VI walk-through: Bulk=40, Concurrency=4, q=[30,30,70,30] -> Hill.
+        // The 3rd queue's manager sends 10 descriptors to each other queue.
+        let q = [30, 30, 70, 30];
+        assert_eq!(classify(&q, 40), Some(Pattern::Hill));
+        let orders = plan_migrations(2, &q, usize::MAX, 40, 4);
+        assert_eq!(orders.len(), 3);
+        assert!(orders.iter().all(|o| o.count == 10));
+        let dsts: Vec<usize> = orders.iter().map(|o| o.dst).collect();
+        assert_eq!(dsts, vec![0, 1, 3]); // QD = {0, 1, 3}
+        // Non-hill managers send nothing on the pattern trigger.
+        assert!(plan_migrations(0, &q, usize::MAX, 40, 4).is_empty());
+    }
+
+    #[test]
+    fn valley_everyone_sends_to_shortest() {
+        let q = [50, 50, 10, 50];
+        assert_eq!(classify(&q, 40), Some(Pattern::Valley));
+        for me in [0, 1, 3] {
+            let orders = plan_migrations(me, &q, usize::MAX, 40, 4);
+            assert_eq!(orders.len(), 1, "manager {me}");
+            assert_eq!(orders[0].dst, 2);
+        }
+        // The valley itself sends nothing.
+        assert!(plan_migrations(2, &q, usize::MAX, 40, 4).is_empty());
+    }
+
+    #[test]
+    fn pairing_matches_ranks() {
+        // Gradual slope: no single Hill/Valley gap reaches Bulk, but the
+        // overall spread does.
+        let q = [80, 65, 50, 35];
+        assert_eq!(classify(&q, 20), Some(Pattern::Pairing));
+        // Longest (0) pairs with shortest (3).
+        let o0 = plan_migrations(0, &q, usize::MAX, 20, 2);
+        assert_eq!(o0, vec![MigrationOrder { dst: 3, count: 10 }]);
+        // 2nd longest (1) pairs with 2nd shortest (2).
+        let o1 = plan_migrations(1, &q, usize::MAX, 20, 2);
+        assert_eq!(o1, vec![MigrationOrder { dst: 2, count: 10 }]);
+        // Receivers don't send.
+        assert!(plan_migrations(3, &q, usize::MAX, 20, 2).is_empty());
+    }
+
+    #[test]
+    fn balanced_queues_no_pattern() {
+        assert_eq!(classify(&[100, 101, 99, 100], 16), None);
+        assert!(plan_migrations(0, &[100, 101, 99, 100], usize::MAX, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn threshold_trigger_sprays_excess() {
+        // Balanced pattern-wise but over threshold.
+        let q = [100, 98, 99, 100];
+        let orders = plan_migrations(0, &q, 80, 16, 4);
+        // Excess = 20, S = 4: up to ceil(20/4)=5 but capped at concurrency=4
+        // destinations of 4 each = 16 moved.
+        assert_eq!(orders.len(), 3.min(q.len() - 1).max(3)); // 3 other managers
+        let total: usize = orders.iter().map(|o| o.count).sum();
+        assert!(total <= 20);
+        assert!(total >= 12);
+        assert!(orders.iter().all(|o| o.dst != 0));
+    }
+
+    #[test]
+    fn threshold_and_pattern_dedupe() {
+        // Hill manager over threshold: destinations must not duplicate.
+        let q = [200, 10, 10, 10];
+        let orders = plan_migrations(0, &q, 50, 40, 4);
+        let mut dsts: Vec<usize> = orders.iter().map(|o| o.dst).collect();
+        let before = dsts.len();
+        dsts.dedup();
+        assert_eq!(before, dsts.len(), "duplicate destinations: {orders:?}");
+    }
+
+    #[test]
+    fn guard_matches_paper_condition() {
+        // q_src - S >= q_dst + S required.
+        assert!(guard_allows(70, 30, 10)); // 60 >= 40
+        assert!(!guard_allows(40, 30, 10)); // 30 < 40
+        assert!(!guard_allows(30, 30, 1)); // equal queues: never worth it
+        assert!(guard_allows(32, 30, 1)); // 31 >= 31
+    }
+
+    #[test]
+    fn single_manager_never_migrates() {
+        assert!(plan_migrations(0, &[500], 10, 16, 4).is_empty());
+        assert_eq!(classify(&[500], 16), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Pattern::Hill.label(), "hill");
+        assert_eq!(Pattern::Valley.label(), "valley");
+        assert_eq!(Pattern::Pairing.label(), "pairing");
+    }
+}

@@ -1,0 +1,831 @@
+//! The end-to-end Altocumulus system simulation.
+//!
+//! Wires together the decentralized software runtime (Algorithm 1), the
+//! hardware messaging mechanism (Fig. 6/8) and the two-tier group topology
+//! (global d-FCFS across manager NetRX queues, local c-FCFS within each
+//! group) into one discrete-event model implementing
+//! [`schedulers::common::RpcSystem`], so it can be compared head-to-head
+//! with every baseline on identical traces.
+
+use crate::config::{AcConfig, Attachment};
+use crate::hw::messages::{Descriptor, Message};
+use crate::runtime::patterns::{guard_allows, plan_migrations, plan_threshold_only};
+use crate::runtime::predictor::LoadEstimator;
+use interconnect::noc::MeshNoc;
+use interconnect::offchip::MemoryModel;
+use rand::rngs::StdRng;
+use rpcstack::nic::{NicModel, Transfer};
+use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
+use simcore::event::{run, EventQueue, World};
+use simcore::rng::{stream_rng, streams};
+use simcore::time::{SimDuration, SimTime};
+use workload::request::Completion;
+use workload::trace::Trace;
+use std::collections::{HashSet, VecDeque};
+
+/// Counters describing the migration machinery's behaviour during a run.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationStats {
+    /// Runtime invocations across all managers.
+    pub ticks: u64,
+    /// MIGRATE messages sent.
+    pub migrate_messages: u64,
+    /// Requests that successfully landed at another manager.
+    pub migrated_requests: u64,
+    /// MIGRATE messages rejected with NACK.
+    pub nacked_messages: u64,
+    /// Requests bounced back by NACKs.
+    pub nacked_requests: u64,
+    /// UPDATE broadcasts sent (messages, not ticks).
+    pub update_messages: u64,
+    /// Migration orders suppressed by the Algorithm-1 line-8 guard.
+    pub guard_blocked: u64,
+    /// Trace indices of requests the predictor selected as likely SLO
+    /// violators (whether or not the migration succeeded).
+    pub predicted: HashSet<usize>,
+}
+
+/// Result of an Altocumulus run: the standard [`SystemResult`] plus
+/// migration accounting.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    /// Latency/completion result, comparable with every baseline.
+    pub system: SystemResult,
+    /// Migration machinery counters.
+    pub stats: MigrationStats,
+}
+
+/// The simulated Altocumulus system.
+#[derive(Debug, Clone)]
+pub struct Altocumulus {
+    cfg: AcConfig,
+}
+
+impl Altocumulus {
+    /// Creates the system, validating the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`AcConfig::validate`]).
+    pub fn new(cfg: AcConfig) -> Self {
+        cfg.validate();
+        Altocumulus { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcConfig {
+        &self.cfg
+    }
+
+    /// Runs the full simulation, returning latency results plus migration
+    /// statistics.
+    pub fn run_detailed(&mut self, trace: &Trace) -> AcResult {
+        let cfg = &self.cfg;
+        let nic = NicModel::default();
+        let attach_transfer = match cfg.attachment {
+            Attachment::Integrated => Transfer::coherent(),
+            Attachment::RssPcie => Transfer::pcie(),
+        };
+        let mut steering = cfg.steering.clone();
+        let mut nic_rng: StdRng = stream_rng(cfg.seed, streams::NIC);
+
+        let mut queue = EventQueue::with_capacity(trace.len() * 4);
+        for (idx, req) in trace.iter().enumerate() {
+            // With tenancy, a connection's requests only reach its tenant's
+            // groups; otherwise the NIC hashes across all NetRX queues.
+            let g = match &cfg.tenancy {
+                Some(t) => {
+                    let owned = t.groups_of(t.tenant_of_conn(req.conn));
+                    owned[steering.steer(req.conn, owned.len(), &mut nic_rng)]
+                }
+                None => steering.steer(req.conn, cfg.groups, &mut nic_rng),
+            };
+            let deliver = req.arrival + nic.mac_delay + attach_transfer.latency(req.size_bytes);
+            queue.push(deliver, Ev::Enqueue(g, idx));
+        }
+        if cfg.migration_enabled && cfg.groups > 1 {
+            for g in 0..cfg.groups {
+                queue.push(SimTime::ZERO + cfg.period, Ev::Tick(g));
+            }
+        }
+
+        let mem = MemoryModel::default();
+        let groups = (0..cfg.groups)
+            .map(|_| Group {
+                netrx: VecDeque::new(),
+                running: vec![None; cfg.workers_per_group()],
+                waiting: vec![VecDeque::new(); cfg.workers_per_group()],
+                in_flight: vec![0; cfg.workers_per_group()],
+                mgr_busy_until: SimTime::ZERO,
+                dispatch_pending: false,
+                send_inflight: 0,
+                recv_fifo: 0,
+                q_view: vec![0; cfg.groups],
+                estimator: LoadEstimator::new(cfg.mean_service, 0.2),
+                arrivals_since_tick: 0,
+            })
+            .collect();
+
+        let mut world = AcWorld {
+            trace,
+            cfg: cfg.clone(),
+            noc: MeshNoc::new_square(cfg.total_cores() as u32),
+            dispatch_op: mem.remote_cache, // 70 cycles per manager dispatch op
+            intra_transfer: match cfg.attachment {
+                Attachment::Integrated => Transfer::coherent(),
+                Attachment::RssPcie => Transfer::coherent(),
+            },
+            groups,
+            completed: 0,
+            last_completed_at_tick: 0,
+            stalled_ticks: 0,
+            stats: MigrationStats::default(),
+            result: SystemResult::with_capacity(trace.len()),
+        };
+        run(&mut world, &mut queue, SimTime::MAX);
+        AcResult {
+            system: world.result,
+            stats: world.stats,
+        }
+    }
+}
+
+impl RpcSystem for Altocumulus {
+    fn name(&self) -> String {
+        format!(
+            "{}({}x{})",
+            self.cfg.attachment.label(),
+            self.cfg.groups,
+            self.cfg.group_size
+        )
+    }
+
+    fn run(&mut self, trace: &Trace) -> SystemResult {
+        self.run_detailed(trace).system
+    }
+}
+
+enum Ev {
+    /// Request reaches its steered manager's NetRX queue.
+    Enqueue(usize, usize),
+    /// Dispatched request lands at worker `(group, worker)`.
+    Deliver(usize, usize, QueuedRequest),
+    /// Worker `(group, worker)` finished its request.
+    WorkerDone(usize, usize),
+    /// Serialized manager operation (ACrss dispatch) completed.
+    MgrOpDone(usize),
+    /// Runtime period boundary for manager `group`.
+    Tick(usize),
+    /// Protocol message arrives at manager `dst`.
+    Msg(usize, Message),
+    /// Receive-FIFO slot at manager `group` drained by the migrator.
+    RecvDrained(usize),
+}
+
+struct Group {
+    netrx: VecDeque<QueuedRequest>,
+    running: Vec<Option<QueuedRequest>>,
+    waiting: Vec<VecDeque<QueuedRequest>>,
+    in_flight: Vec<usize>,
+    mgr_busy_until: SimTime,
+    dispatch_pending: bool,
+    send_inflight: usize,
+    recv_fifo: usize,
+    /// Latest known queue length of every manager (PR `q` vector).
+    q_view: Vec<u32>,
+    estimator: LoadEstimator,
+    arrivals_since_tick: u64,
+}
+
+impl Group {
+    fn occupancy(&self, w: usize) -> usize {
+        self.running[w].iter().count() + self.waiting[w].len() + self.in_flight[w]
+    }
+
+    fn free_worker(&self, bound: usize) -> Option<usize> {
+        (0..self.running.len())
+            .filter(|&w| self.occupancy(w) < bound)
+            .min_by_key(|&w| self.occupancy(w))
+    }
+}
+
+struct AcWorld<'t> {
+    trace: &'t Trace,
+    cfg: AcConfig,
+    noc: MeshNoc,
+    dispatch_op: SimDuration,
+    intra_transfer: Transfer,
+    groups: Vec<Group>,
+    completed: usize,
+    last_completed_at_tick: usize,
+    stalled_ticks: u64,
+    stats: MigrationStats,
+    result: SystemResult,
+}
+
+impl AcWorld<'_> {
+    /// Total on-core cost for trace request `idx`.
+    fn total_cost(&self, idx: usize) -> SimDuration {
+        let req = &self.trace.requests()[idx];
+        self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64)
+    }
+
+    /// Mesh tile of a manager core.
+    fn mgr_tile(&self, g: usize) -> usize {
+        g * self.cfg.group_size
+    }
+
+    /// Intra-group dispatch: hardware (ACint) pushes immediately; ACrss
+    /// serializes 70-cycle manager operations carrying up to
+    /// `dispatch_batch` descriptors.
+    fn try_dispatch(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        match self.cfg.attachment {
+            Attachment::Integrated => loop {
+                if self.groups[g].netrx.is_empty() {
+                    return;
+                }
+                let Some(w) = self.groups[g].free_worker(self.cfg.local_bound) else {
+                    return;
+                };
+                let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
+                self.groups[g].in_flight[w] += 1;
+                let req = &self.trace.requests()[qr.idx];
+                let xfer = self.intra_transfer.latency(req.size_bytes);
+                q.push(now + xfer, Ev::Deliver(g, w, qr));
+            },
+            Attachment::RssPcie => {
+                let grp = &mut self.groups[g];
+                if grp.netrx.is_empty() {
+                    return;
+                }
+                if grp.mgr_busy_until > now {
+                    if !grp.dispatch_pending {
+                        grp.dispatch_pending = true;
+                        let at = grp.mgr_busy_until;
+                        q.push(at, Ev::MgrOpDone(g));
+                    }
+                    return;
+                }
+                // One serialized op moves up to dispatch_batch descriptors.
+                let mut moved = 0;
+                let done_at = now + self.dispatch_op;
+                while moved < self.cfg.dispatch_batch {
+                    if self.groups[g].netrx.is_empty() {
+                        break;
+                    }
+                    let Some(w) = self.groups[g].free_worker(self.cfg.local_bound) else {
+                        break;
+                    };
+                    let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
+                    self.groups[g].in_flight[w] += 1;
+                    q.push(done_at, Ev::Deliver(g, w, qr));
+                    moved += 1;
+                }
+                if moved > 0 {
+                    let grp = &mut self.groups[g];
+                    grp.mgr_busy_until = done_at;
+                    grp.dispatch_pending = true;
+                    q.push(done_at, Ev::MgrOpDone(g));
+                }
+            }
+        }
+    }
+
+    fn start_worker(&mut self, g: usize, w: usize, qr: QueuedRequest, now: SimTime, q: &mut EventQueue<Ev>) {
+        debug_assert!(self.groups[g].running[w].is_none());
+        self.groups[g].running[w] = Some(qr);
+        q.push(now + qr.remaining, Ev::WorkerDone(g, w));
+    }
+
+    /// Pops up to `count` not-yet-migrated requests from the *tail* of
+    /// `g`'s NetRX queue (the paper migrates from Tail).
+    fn stage_from_tail(&mut self, g: usize, count: usize) -> Vec<Descriptor> {
+        let netrx = &mut self.groups[g].netrx;
+        let mut staged = Vec::with_capacity(count);
+        let mut i = netrx.len();
+        while i > 0 && staged.len() < count {
+            i -= 1;
+            if !netrx[i].migrated {
+                let qr = netrx.remove(i).expect("index in range");
+                staged.push(Descriptor {
+                    id: self.trace.requests()[qr.idx].id,
+                    trace_idx: qr.idx,
+                    first_enqueued: qr.enqueued,
+                });
+            }
+        }
+        staged
+    }
+
+    fn runtime_tick(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        self.stats.ticks += 1;
+        let cfg = self.cfg.clone();
+        let n = cfg.groups;
+
+        // 1. Refresh the load estimate from the arrival counter.
+        let arrivals = self.groups[g].arrivals_since_tick;
+        self.groups[g].arrivals_since_tick = 0;
+        self.groups[g].estimator.observe(arrivals, cfg.period);
+        let offered = self.groups[g].estimator.offered_erlangs();
+
+        // 2. Threshold from the prediction model at the measured load.
+        let threshold = cfg.threshold.threshold(cfg.workers_per_group(), offered);
+
+        // 3. Runtime cost through the sw/hw interface; on ACrss it occupies
+        //    the manager core and delays dispatching.
+        let ops = 2 + cfg.concurrency as u32; // status read, update, sends
+        let cost = cfg.interface.runtime_cost(ops, 2.0);
+        let send_time = now + cost;
+        if cfg.attachment == Attachment::RssPcie {
+            let grp = &mut self.groups[g];
+            grp.mgr_busy_until = grp.mgr_busy_until.max(send_time);
+        }
+
+        // 4. Snapshot q: own queue live, remote from UPDATE-fed PR view.
+        let mut q_view: Vec<u32> = (0..n).map(|j| self.groups[g].q_view[j]).collect();
+        q_view[g] = self.groups[g].netrx.len() as u32;
+        self.groups[g].q_view[g] = q_view[g];
+
+        // Under tenancy, UPDATE and MIGRATE stay within the tenant's
+        // partition of groups; otherwise every manager is a peer.
+        let peers: Vec<usize> = match &cfg.tenancy {
+            Some(t) => t.groups_of(t.tenant_of_group(g)),
+            None => (0..n).collect(),
+        };
+
+        // 5. Broadcast UPDATE to every other (peer) manager.
+        let src_tile = self.mgr_tile(g);
+        for (i, dst) in peers.iter().copied().filter(|&j| j != g).enumerate() {
+            let msg = Message::Update {
+                src: g,
+                queue_len: q_view[g],
+            };
+            let lat = self.noc.latency(src_tile, self.mgr_tile(dst), msg.wire_bytes());
+            // Consecutive injections serialize at the port (~3ns each).
+            let stagger = SimDuration::from_ns(3) * i as u64;
+            q.push(send_time + lat + stagger, Ev::Msg(dst, msg));
+            self.stats.update_messages += 1;
+        }
+
+        // Predict-only mode: mark everything queued beyond T as a predicted
+        // violator, touch nothing, and re-arm.
+        if cfg.predict_only {
+            let netrx = &self.groups[g].netrx;
+            if netrx.len() > threshold {
+                for qr in netrx.iter().skip(threshold) {
+                    self.stats.predicted.insert(qr.idx);
+                }
+            }
+            if self.completed < self.trace.len() {
+                q.push(send_time + cfg.period, Ev::Tick(g));
+            }
+            return;
+        }
+
+        // 6. Plan and issue MIGRATE messages over the tenant-local view.
+        let local_q: Vec<u32> = peers.iter().map(|&j| q_view[j]).collect();
+        let me_local = peers
+            .iter()
+            .position(|&j| j == g)
+            .expect("a group is always its own peer");
+        let mut orders = match cfg.patterns {
+            crate::config::PatternPolicy::All => {
+                plan_migrations(me_local, &local_q, threshold, cfg.bulk, cfg.concurrency)
+            }
+            crate::config::PatternPolicy::ThresholdOnly => {
+                plan_threshold_only(me_local, &local_q, threshold, cfg.bulk, cfg.concurrency)
+            }
+        };
+        // Map local destination indices back to global group ids.
+        for o in &mut orders {
+            o.dst = peers[o.dst];
+        }
+        for (i, order) in orders.iter().enumerate() {
+            if cfg.guard_enabled && !guard_allows(q_view[g], q_view[order.dst], order.count) {
+                self.stats.guard_blocked += 1;
+                continue;
+            }
+            if self.groups[g].send_inflight >= 16 {
+                break; // send FIFO full
+            }
+            let descriptors = self.stage_from_tail(g, order.count);
+            if descriptors.is_empty() {
+                continue;
+            }
+            q_view[g] = q_view[g].saturating_sub(descriptors.len() as u32);
+            for d in &descriptors {
+                self.stats.predicted.insert(d.trace_idx);
+            }
+            let msg = Message::Migrate {
+                src: g,
+                dst: order.dst,
+                descriptors,
+            };
+            let lat = self.noc.latency(src_tile, self.mgr_tile(order.dst), msg.wire_bytes());
+            let stagger = SimDuration::from_ns(3) * i as u64;
+            self.groups[g].send_inflight += 1;
+            self.stats.migrate_messages += 1;
+            q.push(send_time + lat + stagger, Ev::Msg(order.dst, msg));
+        }
+
+        // 7. Re-arm the period timer while work remains. The next period is
+        //    measured from the *end* of this invocation: a runtime whose
+        //    cost exceeds P (e.g. the MSR interface at aggressive periods)
+        //    degrades dispatch throughput but can never consume the whole
+        //    manager — matching a real software loop, which alternates
+        //    between runtime work and dispatching.
+        if self.completed < self.trace.len() {
+            if self.completed == self.last_completed_at_tick {
+                self.stalled_ticks += 1;
+                assert!(
+                    self.stalled_ticks < 10_000_000,
+                    "simulation stalled: {} ticks with no completion ({} / {} done)",
+                    self.stalled_ticks,
+                    self.completed,
+                    self.trace.len()
+                );
+            } else {
+                self.stalled_ticks = 0;
+                self.last_completed_at_tick = self.completed;
+            }
+            q.push(send_time + cfg.period, Ev::Tick(g));
+        }
+    }
+
+    fn handle_msg(&mut self, dst: usize, msg: Message, now: SimTime, q: &mut EventQueue<Ev>) {
+        match msg {
+            Message::Update { src, queue_len } => {
+                self.groups[dst].q_view[src] = queue_len;
+            }
+            Message::Migrate {
+                src, descriptors, ..
+            } => {
+                let src_tile = self.mgr_tile(src);
+                let dst_tile = self.mgr_tile(dst);
+                if self.groups[dst].recv_fifo >= 16 {
+                    // Full receive FIFO: reject with NACK.
+                    self.stats.nacked_messages += 1;
+                    self.stats.nacked_requests += descriptors.len() as u64;
+                    let nack = Message::Nack {
+                        src: dst,
+                        descriptors,
+                    };
+                    let lat = self.noc.latency(dst_tile, src_tile, nack.wire_bytes());
+                    q.push(now + lat, Ev::Msg(src, nack));
+                    return;
+                }
+                self.groups[dst].recv_fifo += 1;
+                // The migrator drains the FIFO into the MRs/NetRX at
+                // register speed (~1ns per descriptor).
+                let drain = SimDuration::from_ns(1) * descriptors.len() as u64;
+                q.push(now + drain, Ev::RecvDrained(dst));
+                self.stats.migrated_requests += descriptors.len() as u64;
+                let accepted = descriptors.len();
+                for d in descriptors {
+                    let mut qr =
+                        QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
+                    qr.migrated = true;
+                    self.groups[dst].netrx.push_back(qr);
+                }
+                let ack = Message::Ack {
+                    src: dst,
+                    accepted,
+                };
+                let lat = self.noc.latency(dst_tile, src_tile, ack.wire_bytes());
+                q.push(now + lat, Ev::Msg(src, ack));
+                self.try_dispatch(dst, now, q);
+            }
+            Message::Ack { .. } => {
+                self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
+            }
+            Message::Nack { descriptors, .. } => {
+                // Rejected migration: requests stay at the source (restored
+                // from the MRs). They remain eligible for future migration.
+                self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
+                for d in descriptors {
+                    let qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
+                    self.groups[dst].netrx.push_back(qr);
+                }
+                self.try_dispatch(dst, now, q);
+            }
+        }
+    }
+}
+
+impl World for AcWorld<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::Enqueue(g, idx) => {
+                let qr = QueuedRequest::new(idx, self.total_cost(idx), now);
+                self.groups[g].netrx.push_back(qr);
+                self.groups[g].arrivals_since_tick += 1;
+                self.try_dispatch(g, now, q);
+            }
+            Ev::Deliver(g, w, qr) => {
+                self.groups[g].in_flight[w] -= 1;
+                if self.groups[g].running[w].is_none() && self.groups[g].waiting[w].is_empty() {
+                    self.start_worker(g, w, qr, now, q);
+                } else {
+                    self.groups[g].waiting[w].push_back(qr);
+                }
+            }
+            Ev::WorkerDone(g, w) => {
+                let qr = self.groups[g].running[w].take().expect("done on idle worker");
+                let req = &self.trace.requests()[qr.idx];
+                self.result.record(Completion {
+                    id: req.id,
+                    arrival: req.arrival,
+                    finish: now,
+                    core: g * self.cfg.group_size + 1 + w,
+                    migrated: qr.migrated,
+                });
+                self.completed += 1;
+                if let Some(next) = self.groups[g].waiting[w].pop_front() {
+                    self.start_worker(g, w, next, now, q);
+                }
+                self.try_dispatch(g, now, q);
+            }
+            Ev::MgrOpDone(g) => {
+                self.groups[g].dispatch_pending = false;
+                self.try_dispatch(g, now, q);
+            }
+            Ev::Tick(g) => self.runtime_tick(g, now, q),
+            Ev::Msg(dst, msg) => self.handle_msg(dst, msg, now, q),
+            Ev::RecvDrained(g) => {
+                self.groups[g].recv_fifo = self.groups[g].recv_fifo.saturating_sub(1);
+            }
+        }
+    }
+
+    fn should_stop(&self, _now: SimTime) -> bool {
+        self.completed >= self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::predictor::ThresholdPolicy;
+    use workload::arrival::PoissonProcess;
+    use workload::dist::ServiceDistribution;
+    use workload::trace::TraceBuilder;
+
+    fn trace(dist: ServiceDistribution, load: f64, cores: usize, n: usize, conns: u32) -> Trace {
+        let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
+        TraceBuilder::new(PoissonProcess::new(rate), dist)
+            .requests(n)
+            .connections(conns)
+            .seed(77)
+            .build()
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.6, 64, 20_000, 256);
+        let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean()));
+        let r = ac.run_detailed(&t);
+        assert_eq!(r.system.completions.len(), 20_000);
+    }
+
+    #[test]
+    fn migration_fires_under_imbalance() {
+        // Few connections => heavy RSS imbalance across 4 NetRX queues.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.8, 64, 60_000, 5);
+        let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean()));
+        let r = ac.run_detailed(&t);
+        assert!(r.stats.ticks > 0);
+        assert!(
+            r.stats.migrated_requests > 0,
+            "imbalance must trigger migrations: {:?}",
+            r.stats
+        );
+        assert!(r.stats.update_messages > 0);
+        // Some completions carry the migrated flag.
+        assert!(r.system.completions.iter().any(|c| c.migrated));
+    }
+
+    #[test]
+    fn migration_improves_tail_under_imbalance() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.8, 64, 60_000, 5);
+        let mut on = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean()));
+        let mut off_cfg = AcConfig::ac_int(4, 16, dist.mean());
+        off_cfg.migration_enabled = false;
+        let mut off = Altocumulus::new(off_cfg);
+        let p99_on = on.run(&t).p99();
+        let p99_off = off.run(&t).p99();
+        assert!(
+            p99_on < p99_off,
+            "migration should cut the tail: on={p99_on} off={p99_off}"
+        );
+    }
+
+    #[test]
+    fn no_migration_when_disabled() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.8, 64, 10_000, 5);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        cfg.migration_enabled = false;
+        let r = Altocumulus::new(cfg).run_detailed(&t);
+        assert_eq!(r.stats.ticks, 0);
+        assert_eq!(r.stats.migrated_requests, 0);
+        assert!(r.system.completions.iter().all(|c| !c.migrated));
+    }
+
+    #[test]
+    fn single_group_never_migrates() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.7, 16, 5000, 64);
+        let r = Altocumulus::new(AcConfig::ac_int(1, 16, dist.mean())).run_detailed(&t);
+        assert_eq!(r.stats.migrate_messages, 0);
+        assert_eq!(r.system.completions.len(), 5000);
+    }
+
+    #[test]
+    fn at_most_once_migration() {
+        // Every completion that migrated did so exactly once by
+        // construction; verify staging skips migrated entries by checking
+        // stats consistency: migrated_requests counts landings, and no
+        // request id can land twice because landed entries are flagged.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.85, 64, 40_000, 5);
+        let r = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean())).run_detailed(&t);
+        let migrated_completions = r.system.completions.iter().filter(|c| c.migrated).count();
+        assert_eq!(migrated_completions as u64, r.stats.migrated_requests);
+    }
+
+    #[test]
+    fn rss_attachment_has_higher_floor() {
+        // PCIe + serialized manager dispatch must show a higher minimum
+        // latency than the integrated NIC.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.3, 32, 5000, 64);
+        let int = Altocumulus::new(AcConfig::ac_int(2, 16, dist.mean())).run(&t);
+        let rss = Altocumulus::new(AcConfig::ac_rss(2, 16, dist.mean())).run(&t);
+        assert!(rss.hist.min() > int.hist.min());
+    }
+
+    #[test]
+    fn deterministic() {
+        let dist = ServiceDistribution::bimodal_paper();
+        let t = trace(dist, 0.6, 32, 10_000, 16);
+        let a = Altocumulus::new(AcConfig::ac_int(2, 16, dist.mean())).run_detailed(&t);
+        let b = Altocumulus::new(AcConfig::ac_int(2, 16, dist.mean())).run_detailed(&t);
+        assert_eq!(a.system.p99(), b.system.p99());
+        assert_eq!(a.stats.migrated_requests, b.stats.migrated_requests);
+        assert_eq!(a.stats.migrate_messages, b.stats.migrate_messages);
+    }
+
+    #[test]
+    fn naive_threshold_migrates_less() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.85, 64, 40_000, 5);
+        let model = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean())).run_detailed(&t);
+        let mut naive_cfg = AcConfig::ac_int(4, 16, dist.mean());
+        naive_cfg.threshold = ThresholdPolicy::NaiveUpperBound { slo_ratio: 10.0 };
+        let naive = Altocumulus::new(naive_cfg).run_detailed(&t);
+        // k*L+1 = 151 for 15 workers: the queue rarely reaches it, so the
+        // threshold trigger fires less often than the model's.
+        assert!(
+            naive.stats.predicted.len() <= model.stats.predicted.len(),
+            "naive predicted {} > model {}",
+            naive.stats.predicted.len(),
+            model.stats.predicted.len()
+        );
+    }
+
+    #[test]
+    fn predict_only_marks_without_moving() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.85, 64, 40_000, 5);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        cfg.predict_only = true;
+        let r = Altocumulus::new(cfg).run_detailed(&t);
+        assert!(!r.stats.predicted.is_empty(), "imbalance must trigger predictions");
+        assert_eq!(r.stats.migrate_messages, 0);
+        assert_eq!(r.stats.migrated_requests, 0);
+        assert!(r.system.completions.iter().all(|c| !c.migrated));
+        // Identical dynamics to a migration-disabled run.
+        let mut off = AcConfig::ac_int(4, 16, dist.mean());
+        off.migration_enabled = false;
+        let base = Altocumulus::new(off).run_detailed(&t);
+        assert_eq!(r.system.p99(), base.system.p99());
+    }
+
+    #[test]
+    fn guard_disabled_migrates_more() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.85, 64, 40_000, 5);
+        let on = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean())).run_detailed(&t);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        cfg.guard_enabled = false;
+        let off = Altocumulus::new(cfg).run_detailed(&t);
+        assert_eq!(off.stats.guard_blocked, 0);
+        assert!(
+            off.stats.migrate_messages >= on.stats.migrate_messages,
+            "without the guard at least as many messages fire"
+        );
+    }
+
+    #[test]
+    fn threshold_only_patterns_still_migrate() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.85, 64, 40_000, 5);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        cfg.patterns = crate::config::PatternPolicy::ThresholdOnly;
+        let r = Altocumulus::new(cfg).run_detailed(&t);
+        assert!(r.stats.migrated_requests > 0);
+        assert_eq!(r.system.completions.len(), 40_000);
+    }
+
+    #[test]
+    fn tenancy_isolates_cores_and_migrations() {
+        use crate::tenancy::Tenancy;
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.8, 64, 30_000, 64);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        let tenancy = Tenancy::even(4, 2);
+        cfg.tenancy = Some(tenancy.clone());
+        let r = Altocumulus::new(cfg).run_detailed(&t);
+        assert_eq!(r.system.completions.len(), 30_000);
+        // Every request executed on a core of its own tenant's groups.
+        for c in &r.system.completions {
+            let req = &t.requests()[c.id.0 as usize];
+            let group = c.core / 16;
+            assert_eq!(
+                tenancy.tenant_of_group(group),
+                tenancy.tenant_of_conn(req.conn),
+                "request leaked across the tenant boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_neighbor_cannot_hurt_isolated_tenant() {
+        use crate::tenancy::Tenancy;
+        use workload::request::{ConnectionId, Request, RequestId};
+        use workload::trace::Trace;
+        // Tenant 0 (even conns) sends a massive burst; tenant 1 (odd conns)
+        // trickles. Under isolation, tenant 1's latency stays at the floor.
+        let svc = SimDuration::from_ns(850);
+        let mut reqs = Vec::new();
+        let mut id = 0u64;
+        let push = |arrival_ns: u64, conn: u32, reqs: &mut Vec<Request>, id: &mut u64| {
+            reqs.push(Request {
+                id: RequestId(*id),
+                arrival: SimTime::from_ns(arrival_ns),
+                service: svc,
+                kind: workload::request::RequestKind::Generic,
+                conn: ConnectionId(conn),
+                size_bytes: 300,
+            });
+            *id += 1;
+        };
+        let mut t_ns = 0u64;
+        for i in 0..30_000u64 {
+            t_ns += 20; // tenant 0: 50 MRPS burst, far beyond its half
+            push(t_ns, (i % 8) as u32 * 2, &mut reqs, &mut id);
+            if i % 100 == 0 {
+                push(t_ns + 1, 1 + (i % 8) as u32 * 2, &mut reqs, &mut id);
+            }
+        }
+        reqs.sort_by_key(|r| (r.arrival, r.id.0));
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.id = RequestId(i as u64);
+        }
+        let trace = Trace::new(reqs);
+        let mut cfg = AcConfig::ac_int(4, 16, svc);
+        let tenancy = Tenancy::even(4, 2);
+        cfg.tenancy = Some(tenancy.clone());
+        let r = Altocumulus::new(cfg).run_detailed(&trace);
+        // Tenant 1 (odd conns) latencies stay near the no-load floor.
+        let mut victim_worst = SimDuration::ZERO;
+        for c in &r.system.completions {
+            let req = &trace.requests()[c.id.0 as usize];
+            if tenancy.tenant_of_conn(req.conn) == 1 {
+                victim_worst = victim_worst.max(c.latency());
+            }
+        }
+        assert!(
+            victim_worst < SimDuration::from_us(3),
+            "isolated tenant's worst latency {victim_worst} polluted by the noisy neighbor"
+        );
+    }
+
+    #[test]
+    fn msr_interface_slower_manager() {
+        // MSR runtime cost occupies the ACrss manager longer; throughput at
+        // saturation must not improve.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(100));
+        let t = trace(dist, 0.95, 32, 40_000, 8);
+        let isa = Altocumulus::new(AcConfig::ac_rss(2, 16, dist.mean())).run(&t);
+        let mut msr_cfg = AcConfig::ac_rss(2, 16, dist.mean());
+        msr_cfg.interface = crate::hw::interface::Interface::Msr;
+        let msr = Altocumulus::new(msr_cfg).run(&t);
+        assert!(msr.p99() >= isa.p99());
+    }
+}

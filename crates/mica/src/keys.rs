@@ -1,0 +1,204 @@
+//! Key-popularity distributions for KVS workloads.
+//!
+//! MICA's evaluation (and the YCSB suite the paper's KVS lineage uses)
+//! distinguishes *uniform* from *skewed* (Zipfian) key popularity: skew
+//! concentrates traffic on the EREW partitions owning hot keys, which is
+//! another source of the per-queue imbalance Altocumulus migrates around.
+
+use rand::Rng;
+
+/// How keys are drawn from the keyspace `[0, n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta` (YCSB default 0.99).
+    Zipf {
+        /// Skew exponent; 0 degenerates to uniform, ~0.99 is YCSB's default.
+        theta: f64,
+    },
+}
+
+/// A sampler over `n` keys with the given popularity distribution.
+///
+/// Zipf sampling uses the standard YCSB/Gray et al. rejection-free inverse
+/// transform with precomputed constants — O(1) per sample.
+///
+/// # Examples
+///
+/// ```
+/// use mica::keys::{KeyDistribution, KeySampler};
+/// use rand::SeedableRng;
+///
+/// let sampler = KeySampler::new(10_000, KeyDistribution::Zipf { theta: 0.99 });
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = sampler.sample(&mut rng);
+/// assert!(k < 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    n: u32,
+    dist: KeyDistribution,
+    // Zipf constants (Gray et al., "Quickly generating billion-record
+    // synthetic databases").
+    zetan: f64,
+    theta: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl KeySampler {
+    /// Creates a sampler over `n` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or a Zipf `theta` is not in `[0, 1)∪(1, ∞)`
+    /// (theta = 1 has a divergent normalizer in this form; use 0.99).
+    pub fn new(n: u32, dist: KeyDistribution) -> Self {
+        assert!(n > 0, "need at least one key");
+        match dist {
+            KeyDistribution::Uniform => KeySampler {
+                n,
+                dist,
+                zetan: 0.0,
+                theta: 0.0,
+                alpha: 0.0,
+                eta: 0.0,
+            },
+            KeyDistribution::Zipf { theta } => {
+                assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "bad theta {theta}");
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2.min(n), theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                KeySampler {
+                    n,
+                    dist,
+                    zetan,
+                    theta,
+                    alpha,
+                    eta,
+                }
+            }
+        }
+    }
+
+    /// Number of keys in the keyspace.
+    pub fn keys(&self) -> u32 {
+        self.n
+    }
+
+    /// The configured distribution.
+    pub fn distribution(&self) -> KeyDistribution {
+        self.dist
+    }
+
+    /// Draws a key index in `[0, n)`. For Zipf, key 0 is the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self.dist {
+            KeyDistribution::Uniform => rng.random_range(0..self.n),
+            KeyDistribution::Zipf { .. } => {
+                let u: f64 = rng.random();
+                let uz = u * self.zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(self.theta) {
+                    return 1;
+                }
+                let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u32;
+                k.min(self.n - 1)
+            }
+        }
+    }
+}
+
+/// Generalized harmonic number `H_{n,theta}`.
+fn zeta(n: u32, theta: f64) -> f64 {
+    (1..=n as u64).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(sampler: &KeySampler, draws: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; sampler.keys() as usize];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let s = KeySampler::new(100, KeyDistribution::Uniform);
+        let counts = frequencies(&s, 200_000, 1);
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.3, "uniform spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_head() {
+        let s = KeySampler::new(10_000, KeyDistribution::Zipf { theta: 0.99 });
+        let counts = frequencies(&s, 500_000, 2);
+        let head: u64 = counts[..100].iter().sum();
+        let total: u64 = counts.iter().sum();
+        let head_share = head as f64 / total as f64;
+        // YCSB zipf 0.99 over 10k keys: top-1% of keys draw well over a
+        // third of accesses.
+        assert!(head_share > 0.35, "head share {head_share}");
+        // And the hottest key dominates any mid-rank key.
+        assert!(counts[0] > counts[5000] * 20);
+    }
+
+    #[test]
+    fn zipf_ranks_monotone_ish() {
+        let s = KeySampler::new(1000, KeyDistribution::Zipf { theta: 0.9 });
+        let counts = frequencies(&s, 400_000, 3);
+        // Compare decade aggregates to smooth noise.
+        let d0: u64 = counts[..10].iter().sum();
+        let d1: u64 = counts[10..100].iter().sum();
+        let d2: u64 = counts[100..1000].iter().sum();
+        assert!(d0 > d1 / 9, "head decade underweighted");
+        assert!(d1 > d2 / 10, "middle decade underweighted");
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { theta: 0.5 },
+            KeyDistribution::Zipf { theta: 0.99 },
+        ] {
+            let s = KeySampler::new(7, dist);
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..10_000 {
+                assert!(s.sample(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_near_uniform() {
+        let s = KeySampler::new(50, KeyDistribution::Zipf { theta: 0.0 });
+        let counts = frequencies(&s, 200_000, 5);
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.4, "theta=0 should be near-uniform: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad theta")]
+    fn rejects_theta_one() {
+        KeySampler::new(10, KeyDistribution::Zipf { theta: 1.0 });
+    }
+}

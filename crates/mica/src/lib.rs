@@ -1,0 +1,42 @@
+//! # mica — a MICA-like in-memory key-value store substrate
+//!
+//! The end-to-end application of the paper's §IX: a partitioned,
+//! log-structured KVS in the style of MICA [Lim et al., NSDI'14], used in
+//! EREW mode (each partition owned by one manager thread).
+//!
+//! - [`log`]: the circular value log with wrap-around eviction.
+//! - [`store`]: bucketed hash index over the log, partitioned EREW store.
+//! - [`service`]: handler service-time model from memory-hierarchy costs
+//!   (GET > SET; SCAN is the ~50 µs long class of Fig. 14).
+//! - [`workload`]: dataset population and GET/SET/SCAN trace synthesis.
+//!
+//! The store is *functional* (real bytes in, real bytes out) while the
+//! simulation charges modeled memory latencies — see `DESIGN.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mica::store::Mica;
+//! use mica::workload::KvsWorkload;
+//!
+//! let w = KvsWorkload { keys: 1_000, ..KvsWorkload::default() };
+//! let mut store = Mica::new(2, 1024, 4 << 20);
+//! w.populate(&mut store, 42);
+//! assert_eq!(store.len(), 1_000);
+//! assert!(store.get(&w.key(7)).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod keys;
+pub mod log;
+pub mod service;
+pub mod store;
+pub mod workload;
+
+pub use keys::{KeyDistribution, KeySampler};
+pub use log::CircularLog;
+pub use service::{ServiceModel, ValueSource};
+pub use store::{Mica, Partition};
+pub use workload::KvsWorkload;

@@ -1,0 +1,178 @@
+//! Circular append-only log (MICA's value store).
+//!
+//! MICA stores values in a DRAM-resident circular log; the hash index holds
+//! offsets into it. When the log wraps, the oldest entries are implicitly
+//! evicted — reads of stale offsets must detect this. The paper deploys a
+//! 4 GB log per store; tests use small logs to exercise wrap-around.
+
+/// An append-only circular log over a fixed byte buffer.
+///
+/// Offsets are *absolute* (monotonically increasing); an entry is readable
+/// while `head − offset ≤ capacity`, i.e. until the writer laps it.
+///
+/// # Examples
+///
+/// ```
+/// use mica::log::CircularLog;
+///
+/// let mut log = CircularLog::new(1024);
+/// let off = log.append(b"hello").unwrap();
+/// assert_eq!(log.read(off).as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircularLog {
+    buf: Vec<u8>,
+    /// Absolute offset of the next append.
+    head: u64,
+}
+
+/// Length prefix per entry (u32 little-endian).
+const LEN_BYTES: usize = 4;
+
+impl CircularLog {
+    /// Creates a log of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than one length prefix + 1 byte.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > LEN_BYTES, "log capacity too small");
+        CircularLog {
+            buf: vec![0; capacity],
+            head: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Absolute offset of the next append.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Appends `value`, returning its absolute offset, or `None` if the
+    /// entry (prefix + payload) cannot fit in the log at all.
+    pub fn append(&mut self, value: &[u8]) -> Option<u64> {
+        let total = LEN_BYTES + value.len();
+        if total > self.buf.len() {
+            return None;
+        }
+        let offset = self.head;
+        let len = (value.len() as u32).to_le_bytes();
+        self.write_wrapped(offset, &len);
+        self.write_wrapped(offset + LEN_BYTES as u64, value);
+        self.head = offset + total as u64;
+        Some(offset)
+    }
+
+    /// Reads the entry at absolute `offset`, or `None` if it has been lapped
+    /// (evicted) or never written.
+    pub fn read(&self, offset: u64) -> Option<Vec<u8>> {
+        if offset >= self.head {
+            return None; // never written
+        }
+        // Read the length prefix first, then validate the whole entry is
+        // still within the un-lapped window.
+        let mut len_bytes = [0u8; LEN_BYTES];
+        self.read_wrapped(offset, &mut len_bytes);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let total = (LEN_BYTES + len) as u64;
+        if len > self.buf.len() || offset + total > self.head {
+            return None; // corrupted by lapping
+        }
+        if self.head - offset > self.buf.len() as u64 {
+            return None; // evicted
+        }
+        let mut out = vec![0u8; len];
+        self.read_wrapped(offset + LEN_BYTES as u64, &mut out);
+        Some(out)
+    }
+
+    /// True iff the entry at `offset` is still resident.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset < self.head && self.head - offset <= self.buf.len() as u64
+    }
+
+    fn write_wrapped(&mut self, offset: u64, data: &[u8]) {
+        let cap = self.buf.len();
+        let start = (offset % cap as u64) as usize;
+        let first = data.len().min(cap - start);
+        self.buf[start..start + first].copy_from_slice(&data[..first]);
+        if first < data.len() {
+            self.buf[..data.len() - first].copy_from_slice(&data[first..]);
+        }
+    }
+
+    fn read_wrapped(&self, offset: u64, out: &mut [u8]) {
+        let cap = self.buf.len();
+        let start = (offset % cap as u64) as usize;
+        let first = out.len().min(cap - start);
+        out[..first].copy_from_slice(&self.buf[start..start + first]);
+        if first < out.len() {
+            let rest = out.len() - first;
+            out[first..].copy_from_slice(&self.buf[..rest]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut log = CircularLog::new(256);
+        let a = log.append(b"alpha").unwrap();
+        let b = log.append(b"beta").unwrap();
+        assert_eq!(log.read(a).unwrap(), b"alpha");
+        assert_eq!(log.read(b).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn never_written_offsets() {
+        let log = CircularLog::new(64);
+        assert_eq!(log.read(0), None);
+        assert!(!log.contains(0));
+    }
+
+    #[test]
+    fn wrap_around_evicts_oldest() {
+        let mut log = CircularLog::new(64);
+        let first = log.append(&[1u8; 20]).unwrap();
+        let mut last = 0;
+        for i in 0..10 {
+            last = log.append(&[i as u8; 20]).unwrap();
+        }
+        assert_eq!(log.read(first), None, "lapped entry must be evicted");
+        assert_eq!(log.read(last).unwrap(), [9u8; 20]);
+    }
+
+    #[test]
+    fn entry_spanning_the_boundary() {
+        let mut log = CircularLog::new(40);
+        log.append(&[7u8; 25]).unwrap(); // head at 29
+        let off = log.append(&[9u8; 20]).unwrap(); // wraps past 40
+        assert_eq!(log.read(off).unwrap(), [9u8; 20]);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut log = CircularLog::new(32);
+        assert_eq!(log.append(&[0u8; 64]), None);
+        assert!(log.append(&[0u8; 28]).is_some());
+    }
+
+    #[test]
+    fn head_advances_monotonically() {
+        let mut log = CircularLog::new(128);
+        let mut prev = log.head();
+        for _ in 0..20 {
+            log.append(b"xyz").unwrap();
+            assert!(log.head() > prev);
+            prev = log.head();
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Service-time model for MICA request handlers (paper §IX-B).
+//!
+//! The paper charges: for a SET, loading the value from the LLC (remote
+//! cache read) or main memory, then writing it to the DRAM-resident log;
+//! for a GET, fetching the value from the log (DRAM) and writing it to the
+//! response buffer (LLC) — "usually taking longer delay than SETs". SCANs
+//! walk a key range and are the long-request class of Fig. 14.
+
+use interconnect::offchip::MemoryModel;
+use simcore::time::SimDuration;
+use workload::request::RequestKind;
+
+/// Where a SET's input value resides before being written to the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSource {
+    /// The LLC (a remote cache read) — the Nebula-style configuration.
+    Llc,
+    /// Main memory (a DRAM access) — the DPDK-style configuration.
+    Dram,
+}
+
+/// Computes handler service times from the memory hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceModel {
+    /// Memory-latency constants.
+    pub mem: MemoryModel,
+    /// Where SET inputs come from.
+    pub value_source: ValueSource,
+    /// Bytes moved per cache line.
+    pub line_bytes: u32,
+    /// Keys visited by one SCAN.
+    pub scan_keys: u32,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            mem: MemoryModel::default(),
+            value_source: ValueSource::Llc,
+            line_bytes: 64,
+            scan_keys: 250, // ~50us per SCAN with 512B values (Fig. 14)
+        }
+    }
+}
+
+impl ServiceModel {
+    fn lines(&self, bytes: u32) -> u64 {
+        bytes.div_ceil(self.line_bytes).max(1) as u64
+    }
+
+    /// GET: index probe (L1+LLC), log fetch from DRAM (per line), response
+    /// write into the LLC (per line).
+    pub fn get_time(&self, value_bytes: u32) -> SimDuration {
+        let lines = self.lines(value_bytes);
+        // Hash+bucket probe: one L1 touch and one LLC touch; the first log
+        // line is a full DRAM access, subsequent lines stream at ~1/4 cost;
+        // the response is written line-by-line into the LLC buffer.
+        let stream = SimDuration::from_ps(self.mem.dram.as_ps() / 4);
+        self.mem.l1 + self.mem.llc + self.mem.dram + stream * (lines - 1) + self.mem.llc * lines
+    }
+
+    /// SET: load the input value (LLC or DRAM), append to the DRAM log.
+    pub fn set_time(&self, value_bytes: u32) -> SimDuration {
+        let lines = self.lines(value_bytes);
+        let load = match self.value_source {
+            ValueSource::Llc => self.mem.remote_cache,
+            ValueSource::Dram => self.mem.dram,
+        };
+        let stream = SimDuration::from_ps(self.mem.dram.as_ps() / 4);
+        self.mem.l1 + load + self.mem.dram + stream * (lines - 1)
+    }
+
+    /// SCAN: `scan_keys` sequential GET-like probes, dominated by streaming
+    /// DRAM reads.
+    pub fn scan_time(&self, value_bytes: u32) -> SimDuration {
+        let per_key = self.mem.llc + SimDuration::from_ps(self.mem.dram.as_ps() / 2)
+            + SimDuration::from_ps(self.mem.dram.as_ps() / 4) * (self.lines(value_bytes) - 1);
+        per_key * self.scan_keys as u64
+    }
+
+    /// Service time for a request of `kind` over `value_bytes` values.
+    pub fn service_time(&self, kind: RequestKind, value_bytes: u32) -> SimDuration {
+        match kind {
+            RequestKind::Get | RequestKind::Generic => self.get_time(value_bytes),
+            RequestKind::Set => self.set_time(value_bytes),
+            RequestKind::Scan => self.scan_time(value_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_longer_than_set() {
+        // Paper: "GETs ... usually taking longer delay than SETs".
+        let m = ServiceModel::default();
+        assert!(m.get_time(512) > m.set_time(512));
+    }
+
+    #[test]
+    fn scan_is_the_long_class() {
+        let m = ServiceModel::default();
+        let scan = m.scan_time(512);
+        let get = m.get_time(512);
+        assert!(scan > get * 100);
+        // ~50us-scale with defaults (the Fig. 14 long class is ~50us).
+        assert!(
+            (10.0..200.0).contains(&scan.as_us_f64()),
+            "scan={}",
+            scan
+        );
+    }
+
+    #[test]
+    fn small_get_is_sub_microsecond() {
+        let m = ServiceModel::default();
+        let t = m.get_time(64);
+        assert!(t < SimDuration::from_us(1), "get={t}");
+        assert!(t > SimDuration::from_ns(50));
+    }
+
+    #[test]
+    fn larger_values_cost_more() {
+        let m = ServiceModel::default();
+        assert!(m.get_time(512) > m.get_time(64));
+        assert!(m.set_time(2048) > m.set_time(64));
+    }
+
+    #[test]
+    fn dram_sourced_sets_slower() {
+        let llc = ServiceModel::default();
+        let dram = ServiceModel {
+            value_source: ValueSource::Dram,
+            ..llc
+        };
+        assert!(dram.set_time(512) > llc.set_time(512));
+    }
+
+    #[test]
+    fn dispatch_by_kind() {
+        let m = ServiceModel::default();
+        assert_eq!(m.service_time(RequestKind::Get, 64), m.get_time(64));
+        assert_eq!(m.service_time(RequestKind::Set, 64), m.set_time(64));
+        assert_eq!(m.service_time(RequestKind::Scan, 64), m.scan_time(64));
+    }
+}

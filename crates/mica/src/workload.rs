@@ -1,0 +1,297 @@
+//! KVS workload generation: datasets, key popularity and trace synthesis.
+//!
+//! Builds the end-to-end MICA experiment inputs (paper §IX): a dataset of
+//! 16 B keys / 512 B values, a 50/50 GET/SET query mix with a configurable
+//! SCAN fraction, and service times drawn from the [`ServiceModel`] so the
+//! simulated handler cost matches what the functional store would do.
+
+use crate::service::ServiceModel;
+use crate::store::Mica;
+use rand::Rng;
+use simcore::rng::{stream_rng, streams};
+use simcore::time::SimTime;
+use workload::arrival::ArrivalProcess;
+use workload::request::{ConnectionId, Request, RequestId, RequestKind};
+use workload::trace::Trace;
+
+/// Parameters of the MICA workload (paper defaults where given).
+#[derive(Debug, Clone)]
+pub struct KvsWorkload {
+    /// Number of distinct keys (paper: 1.6 M per manager).
+    pub keys: u32,
+    /// Key size in bytes (paper: 16 B).
+    pub key_bytes: u32,
+    /// Value size in bytes (paper: 512 B).
+    pub value_bytes: u32,
+    /// Fraction of SCAN requests (Fig. 14: 0.5%).
+    pub scan_fraction: f64,
+    /// GET fraction among non-SCANs (paper: 50/50 GET/SET).
+    pub get_fraction: f64,
+    /// Number of client connections.
+    pub connections: u32,
+    /// Service-time model.
+    pub service: ServiceModel,
+}
+
+impl Default for KvsWorkload {
+    fn default() -> Self {
+        KvsWorkload {
+            keys: 100_000, // scaled-down default; paper uses 1.6M
+            key_bytes: 16,
+            value_bytes: 512,
+            scan_fraction: 0.005,
+            get_fraction: 0.5,
+            connections: 256,
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+impl KvsWorkload {
+    /// The Fig. 14 mix on the nanoRPC stack: tiny values so GET/SET land
+    /// near ~100 ns handler time, 0.5% SCANs as the long class. SCANs are
+    /// sized at ~5 µs: the figure's throughput axis (up to 700 MRPS on 64
+    /// cores) is only feasible when 0.5% SCANs consume well under the whole
+    /// machine, which bounds them near 5 µs rather than the text's "~50 µs".
+    pub fn fig14() -> Self {
+        KvsWorkload {
+            value_bytes: 64,
+            service: crate::service::ServiceModel {
+                scan_keys: 83, // ~5us per SCAN over 64B values
+                ..crate::service::ServiceModel::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Materializes the byte key for key index `i`.
+    pub fn key(&self, i: u32) -> Vec<u8> {
+        let mut k = vec![0u8; self.key_bytes as usize];
+        k[..4].copy_from_slice(&i.to_le_bytes());
+        k
+    }
+
+    /// Pre-populates a store with every key (the paper deploys the dataset
+    /// before measuring).
+    pub fn populate(&self, store: &mut Mica, seed: u64) {
+        let mut rng = stream_rng(seed, streams::KEYS);
+        let mut value = vec![0u8; self.value_bytes as usize];
+        for i in 0..self.keys {
+            rng.fill(&mut value[..]);
+            assert!(
+                store.set(&self.key(i), &value),
+                "dataset value must fit the log"
+            );
+        }
+    }
+
+    /// Generates a trace of `n` requests using `arrivals`, with service
+    /// times from the [`ServiceModel`] and kinds drawn from the mix.
+    pub fn trace<A: ArrivalProcess>(&self, arrivals: A, n: usize, seed: u64) -> Trace {
+        self.trace_in_conn_range(arrivals, n, seed, 0, self.connections)
+    }
+
+    /// Like [`Self::trace`] but confined to connections
+    /// `[conn_offset, conn_offset + conn_count)` — the building block for
+    /// per-cluster bursty streams.
+    pub fn trace_in_conn_range<A: ArrivalProcess>(
+        &self,
+        mut arrivals: A,
+        n: usize,
+        seed: u64,
+        conn_offset: u32,
+        conn_count: u32,
+    ) -> Trace {
+        assert!(conn_count > 0, "need at least one connection");
+        let mut arr_rng = stream_rng(seed, streams::ARRIVALS);
+        let mut mix_rng = stream_rng(seed, streams::SERVICE);
+        let mut key_rng = stream_rng(seed, streams::KEYS);
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            now += arrivals.next_gap(&mut arr_rng);
+            let kind = if mix_rng.random::<f64>() < self.scan_fraction {
+                RequestKind::Scan
+            } else if mix_rng.random::<f64>() < self.get_fraction {
+                RequestKind::Get
+            } else {
+                RequestKind::Set
+            };
+            let service = self.service.service_time(kind, self.value_bytes);
+            out.push(Request {
+                id: RequestId(i as u64),
+                arrival: now,
+                service,
+                kind,
+                conn: ConnectionId(conn_offset + key_rng.random_range(0..conn_count)),
+                size_bytes: self.key_bytes + 32,
+            });
+        }
+        Trace::new(out)
+    }
+
+    /// "Real-world" KVS traffic: `clusters` independent bursty (MMPP)
+    /// streams on disjoint connection ranges, merged by arrival time, with
+    /// aggregate rate `total_rate`. Bursts hit different receive queues at
+    /// different times — the temporal imbalance of the paper's Fig. 9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds the connection budget.
+    pub fn trace_clustered(
+        &self,
+        total_rate: f64,
+        clusters: u32,
+        n: usize,
+        seed: u64,
+    ) -> Trace {
+        use workload::arrival::MmppProcess;
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(
+            clusters <= self.connections,
+            "more clusters than connections"
+        );
+        let per_cluster_conns = self.connections / clusters;
+        let per_cluster_n = n / clusters as usize;
+        assert!(per_cluster_n > 0, "too few requests for {clusters} clusters");
+        let mut parts = Vec::with_capacity(clusters as usize);
+        for c in 0..clusters {
+            let arrivals = MmppProcess::bursty(total_rate / clusters as f64);
+            parts.push(self.trace_in_conn_range(
+                arrivals,
+                per_cluster_n,
+                simcore::rng::derive_seed(seed, c as u64 + 1),
+                c * per_cluster_conns,
+                per_cluster_conns,
+            ));
+        }
+        Trace::merge(parts)
+    }
+
+    /// Mean handler time of the mix (for load calculations).
+    pub fn mean_service(&self) -> simcore::time::SimDuration {
+        let get = self.service.get_time(self.value_bytes).as_ns_f64();
+        let set = self.service.set_time(self.value_bytes).as_ns_f64();
+        let scan = self.service.scan_time(self.value_bytes).as_ns_f64();
+        let short = self.get_fraction * get + (1.0 - self.get_fraction) * set;
+        simcore::time::SimDuration::from_ns_f64(
+            (1.0 - self.scan_fraction) * short + self.scan_fraction * scan,
+        )
+    }
+}
+
+/// Executes a trace's operations against a functional store, verifying that
+/// every GET after the populate phase finds its key — the end-to-end "the
+/// store actually works" check used by integration tests.
+///
+/// Returns `(hits, misses)` over GET requests.
+pub fn execute_against_store(workload: &KvsWorkload, store: &mut Mica, trace: &Trace, seed: u64) -> (u64, u64) {
+    let mut rng = stream_rng(seed, streams::KEYS);
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut value = vec![0u8; workload.value_bytes as usize];
+    for req in trace {
+        let key_idx = rng.random_range(0..workload.keys);
+        let key = workload.key(key_idx);
+        match req.kind {
+            RequestKind::Get | RequestKind::Generic => {
+                if store.get(&key).is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            RequestKind::Set => {
+                rng.fill(&mut value[..]);
+                store.set(&key, &value);
+            }
+            RequestKind::Scan => {
+                // Walk a small range.
+                for off in 0..16u32 {
+                    let k = workload.key((key_idx + off) % workload.keys);
+                    let _ = store.get(&k);
+                }
+            }
+        }
+    }
+    (hits, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::arrival::PoissonProcess;
+
+    #[test]
+    fn trace_mix_matches_fractions() {
+        let w = KvsWorkload::default();
+        let t = w.trace(PoissonProcess::new(1e6), 100_000, 1);
+        let scans = t.iter().filter(|r| r.kind == RequestKind::Scan).count();
+        let gets = t.iter().filter(|r| r.kind == RequestKind::Get).count();
+        let sets = t.iter().filter(|r| r.kind == RequestKind::Set).count();
+        let p_scan = scans as f64 / t.len() as f64;
+        assert!((p_scan - 0.005).abs() < 0.002, "p_scan={p_scan}");
+        let ratio = gets as f64 / sets as f64;
+        assert!((0.93..1.07).contains(&ratio), "get/set={ratio}");
+    }
+
+    #[test]
+    fn service_times_by_kind() {
+        let w = KvsWorkload::default();
+        let t = w.trace(PoissonProcess::new(1e6), 10_000, 2);
+        for r in &t {
+            let expect = w.service.service_time(r.kind, w.value_bytes);
+            assert_eq!(r.service, expect, "kind {:?}", r.kind);
+        }
+    }
+
+    #[test]
+    fn populate_then_all_gets_hit() {
+        let w = KvsWorkload {
+            keys: 2_000,
+            ..KvsWorkload::default()
+        };
+        let mut store = Mica::new(4, 4096, 8 << 20);
+        w.populate(&mut store, 3);
+        assert_eq!(store.len(), 2_000);
+        let t = w.trace(PoissonProcess::new(1e6), 5_000, 3);
+        let (hits, misses) = execute_against_store(&w, &mut store, &t, 4);
+        assert!(hits > 0);
+        assert_eq!(misses, 0, "all keys were populated; no GET may miss");
+    }
+
+    #[test]
+    fn mean_service_between_short_and_scan() {
+        let w = KvsWorkload::default();
+        let mean = w.mean_service();
+        assert!(mean > w.service.set_time(w.value_bytes));
+        assert!(mean < w.service.scan_time(w.value_bytes));
+    }
+
+    #[test]
+    fn clustered_trace_shape() {
+        let w = KvsWorkload::default();
+        let t = w.trace_clustered(10e6, 4, 20_000, 9);
+        assert_eq!(t.len(), 20_000);
+        // ids sequential in arrival order after the merge
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+        // connection ranges disjoint per cluster
+        let per = w.connections / 4;
+        assert!(t.iter().all(|r| r.conn.0 < w.connections));
+        let mut seen = [false; 4];
+        for r in t.iter() {
+            seen[(r.conn.0 / per) as usize % 4] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fig14_values_are_small() {
+        let w = KvsWorkload::fig14();
+        assert_eq!(w.value_bytes, 64);
+        // Short requests sub-microsecond.
+        assert!(w.service.get_time(64) < simcore::time::SimDuration::from_us(1));
+    }
+}

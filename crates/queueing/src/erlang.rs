@@ -1,0 +1,283 @@
+//! Erlang loss/delay formulas and M/M/k metrics.
+//!
+//! The Altocumulus prediction model (paper §IV, Eq. 1) uses the Erlang-C
+//! formula `C_k(A)` — the probability an arriving request must queue in an
+//! M/M/k system offered `A` Erlangs — to model the expected queue length
+//! `E[N̂q] = C_k(A) · A / (k − A)`.
+//!
+//! Both formulas are computed with the standard numerically-stable recurrence
+//! on Erlang-B, so they work for hundreds of servers without overflow.
+
+/// Erlang-B blocking probability `B(k, a)` for `k` servers offered `a`
+/// Erlangs.
+///
+/// Uses the recurrence `B(0)=1; B(j) = a·B(j−1) / (j + a·B(j−1))`, which is
+/// numerically stable for large `k` and `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use queueing::erlang::erlang_b;
+/// // Classic telephony check: 10 servers, 5 Erlangs -> ~1.84% blocking.
+/// let b = erlang_b(10, 5.0);
+/// assert!((b - 0.0184).abs() < 0.0005, "b={b}");
+/// ```
+pub fn erlang_b(servers: usize, offered: f64) -> f64 {
+    assert!(offered.is_finite() && offered >= 0.0, "offered load must be >= 0");
+    if offered == 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0;
+    for j in 1..=servers {
+        b = offered * b / (j as f64 + offered * b);
+    }
+    b
+}
+
+/// Erlang-C queueing probability `C_k(A)`: the probability that an arriving
+/// request finds all `k` servers busy and must wait.
+///
+/// Returns 1.0 when the system is overloaded (`A ≥ k`), where the queue grows
+/// without bound and every arrival waits.
+///
+/// # Panics
+///
+/// Panics if `offered` is negative/not finite or `servers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use queueing::erlang::erlang_c;
+/// // M/M/1: C = rho.
+/// assert!((erlang_c(1, 0.7) - 0.7).abs() < 1e-12);
+/// ```
+pub fn erlang_c(servers: usize, offered: f64) -> f64 {
+    assert!(servers > 0, "need at least one server");
+    assert!(offered.is_finite() && offered >= 0.0);
+    let k = servers as f64;
+    if offered >= k {
+        return 1.0;
+    }
+    let b = erlang_b(servers, offered);
+    k * b / (k - offered * (1.0 - b))
+}
+
+/// Expected number of requests *waiting* (not in service) in an M/M/k system
+/// — the paper's `E[N̂q] = C_k(A) · A / (k − A)` (Eq. 1).
+///
+/// Returns `f64::INFINITY` when overloaded.
+///
+/// # Examples
+///
+/// ```
+/// use queueing::erlang::expected_queue_len;
+/// // M/M/1 at rho=0.5: E[Nq] = rho^2/(1-rho) = 0.5.
+/// assert!((expected_queue_len(1, 0.5) - 0.5).abs() < 1e-12);
+/// ```
+pub fn expected_queue_len(servers: usize, offered: f64) -> f64 {
+    let k = servers as f64;
+    if offered >= k {
+        return f64::INFINITY;
+    }
+    erlang_c(servers, offered) * offered / (k - offered)
+}
+
+/// Closed-form steady-state metrics of an M/M/k queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmK {
+    /// Number of servers.
+    pub servers: usize,
+    /// Arrival rate λ (per second).
+    pub lambda: f64,
+    /// Per-server service rate µ (per second).
+    pub mu: f64,
+}
+
+impl MmK {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates or zero servers.
+    pub fn new(servers: usize, lambda: f64, mu: f64) -> Self {
+        assert!(servers > 0);
+        assert!(lambda > 0.0 && lambda.is_finite());
+        assert!(mu > 0.0 && mu.is_finite());
+        MmK { servers, lambda, mu }
+    }
+
+    /// Offered load in Erlangs: `A = λ/µ`.
+    pub fn offered(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization `ρ = A/k`.
+    pub fn utilization(&self) -> f64 {
+        self.offered() / self.servers as f64
+    }
+
+    /// True iff the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Probability an arrival waits (Erlang-C).
+    pub fn wait_probability(&self) -> f64 {
+        erlang_c(self.servers, self.offered())
+    }
+
+    /// Mean number waiting, `E[Nq]`.
+    pub fn mean_queue_len(&self) -> f64 {
+        expected_queue_len(self.servers, self.offered())
+    }
+
+    /// Mean waiting time in seconds, `E[Wq] = E[Nq]/λ` (Little's law).
+    pub fn mean_wait_secs(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        self.mean_queue_len() / self.lambda
+    }
+
+    /// Mean sojourn time in seconds, `E[W] = E[Wq] + 1/µ`.
+    pub fn mean_sojourn_secs(&self) -> f64 {
+        self.mean_wait_secs() + 1.0 / self.mu
+    }
+
+    /// The `q`-quantile of waiting time in seconds, using the exact M/M/k
+    /// waiting-time distribution: `P(Wq > t) = C_k(A)·e^{−(kµ−λ)t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0,1)`.
+    pub fn wait_quantile_secs(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let c = self.wait_probability();
+        if 1.0 - q >= c {
+            return 0.0; // the quantile falls in the no-wait mass
+        }
+        let rate = self.servers as f64 * self.mu - self.lambda;
+        (c / (1.0 - q)).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Published Erlang-B tables.
+        assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(2, 1.0) - 0.2).abs() < 1e-12);
+        assert!((erlang_b(5, 3.0) - 0.1101).abs() < 1e-3);
+    }
+
+    #[test]
+    fn erlang_b_zero_load() {
+        assert_eq!(erlang_b(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_m_m_1_equals_rho() {
+        for rho in [0.1, 0.5, 0.9, 0.99] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_overload_is_one() {
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        assert_eq!(erlang_c(4, 10.0), 1.0);
+    }
+
+    #[test]
+    fn erlang_c_increases_with_load() {
+        let mut last = 0.0;
+        for i in 1..100 {
+            let a = 64.0 * i as f64 / 100.0;
+            let c = erlang_c(64, a);
+            assert!(c >= last, "Erlang-C must be monotone in load");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn erlang_c_decreases_with_servers_at_fixed_utilization() {
+        // Pooling effect: at the same rho, more servers queue less.
+        let c16 = erlang_c(16, 16.0 * 0.9);
+        let c64 = erlang_c(64, 64.0 * 0.9);
+        let c256 = erlang_c(256, 256.0 * 0.9);
+        assert!(c16 > c64 && c64 > c256);
+    }
+
+    #[test]
+    fn queue_len_m_m_1_formula() {
+        // E[Nq] = rho^2/(1-rho).
+        for rho in [0.3, 0.6, 0.95] {
+            let exact = rho * rho / (1.0 - rho);
+            assert!((expected_queue_len(1, rho) - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn queue_len_overload_is_infinite() {
+        assert!(expected_queue_len(8, 8.0).is_infinite());
+    }
+
+    #[test]
+    fn paper_eq1_example_64_cores() {
+        // §V-B: "the mean of E[Nq] for each group equals 11 when system load
+        // is near 1". With k=16 workers per group... the paper's bound of 11
+        // descriptors per MR corresponds to high load on a group. Sanity:
+        // E[Nq] at k=16, rho=0.97 is around 11 (order of magnitude).
+        let nq = expected_queue_len(16, 16.0 * 0.972);
+        assert!((5.0..40.0).contains(&nq), "nq={nq}");
+    }
+
+    #[test]
+    fn mmk_metrics_consistent() {
+        let m = MmK::new(64, 60e6, 1e6); // A=60, rho~0.94
+        assert!(m.is_stable());
+        assert!((m.offered() - 60.0).abs() < 1e-9);
+        assert!((m.utilization() - 60.0 / 64.0).abs() < 1e-12);
+        // Little's law consistency.
+        assert!((m.mean_wait_secs() * m.lambda - m.mean_queue_len()).abs() < 1e-9);
+        assert!(m.mean_sojourn_secs() > m.mean_wait_secs());
+    }
+
+    #[test]
+    fn mmk_unstable() {
+        let m = MmK::new(4, 5e6, 1e6);
+        assert!(!m.is_stable());
+        assert!(m.mean_wait_secs().is_infinite());
+    }
+
+    #[test]
+    fn wait_quantiles() {
+        let m = MmK::new(1, 0.5e6, 1e6); // M/M/1, rho 0.5
+        // Half the arrivals don't wait at all: p50 = 0.
+        assert_eq!(m.wait_quantile_secs(0.5), 0.0);
+        // p99 positive and larger than p90.
+        let p90 = m.wait_quantile_secs(0.90);
+        let p99 = m.wait_quantile_secs(0.99);
+        assert!(p99 > p90 && p90 > 0.0);
+        // Exact check: P(W > t) = rho * exp(-(mu-lambda) t).
+        let t = m.wait_quantile_secs(0.99);
+        let p = 0.5 * (-(1e6 - 0.5e6) * t).exp();
+        assert!((p - 0.01).abs() < 1e-9, "p={p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn erlang_c_rejects_zero_servers() {
+        erlang_c(0, 1.0);
+    }
+}

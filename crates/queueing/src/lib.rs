@@ -1,0 +1,31 @@
+//! # queueing — Erlang-C analytics and the Altocumulus threshold model
+//!
+//! Implements the queueing-theory machinery behind the paper's proactive
+//! SLO-violation prediction (§IV):
+//!
+//! - [`erlang`]: numerically stable Erlang-B/C, M/M/k steady-state metrics
+//!   and waiting-time quantiles.
+//! - [`threshold`]: the `E[T̂] = a·E[c·N̂q + d] + b` threshold model (Eq. 2),
+//!   the naive `k·L+1` bound, and least-squares calibration (the offline
+//!   component of Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use queueing::{erlang_c, ThresholdModel};
+//!
+//! // At 99% utilization, a 64-core M/M/64 queues most arrivals...
+//! assert!(erlang_c(64, 64.0 * 0.99) > 0.8);
+//! // ...and the paper's fitted model produces a finite migration threshold.
+//! let t = ThresholdModel::paper_fixed().threshold(64, 64.0 * 0.99);
+//! assert!(t >= 1 && t < 641);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod erlang;
+pub mod threshold;
+
+pub use erlang::{erlang_b, erlang_c, expected_queue_len, MmK};
+pub use threshold::{linear_fit, naive_upper_bound, r_squared, ThresholdModel};

@@ -1,0 +1,250 @@
+//! The Altocumulus SLO-violation threshold model (paper §IV).
+//!
+//! Altocumulus predicts that queued RPCs beyond a queue-length threshold `T`
+//! will violate the SLO. The paper models the expected threshold as a linear
+//! transformation of the Erlang-C expected queue length:
+//!
+//! ```text
+//! E[T̂] = a · E[c · N̂q + d] + b          (Eq. 2)
+//! E[N̂q] = C_k(A) · A / (k − A)          (Eq. 1)
+//! ```
+//!
+//! with constants `a, b, c, d` fit empirically per service-time distribution
+//! (the paper quotes `a=1.01, c=0.998, b=d=0` for Fixed). This module
+//! provides the model, the naive bounds it is compared against, and a
+//! least-squares calibration routine that fits the constants from simulated
+//! `(load, first-violation queue length)` points — the paper's "offline
+//! component".
+
+use crate::erlang::expected_queue_len;
+
+/// The linear-in-`E[N̂q]` threshold model of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdModel {
+    /// Outer slope `a`.
+    pub a: f64,
+    /// Outer intercept `b`.
+    pub b: f64,
+    /// Inner slope `c`.
+    pub c: f64,
+    /// Inner intercept `d`.
+    pub d: f64,
+}
+
+impl ThresholdModel {
+    /// The paper's example constants for the Fixed distribution
+    /// (`a=1.01, c=0.998, b=d=0`; Fig. 7(d)).
+    pub fn paper_fixed() -> Self {
+        ThresholdModel {
+            a: 1.01,
+            b: 0.0,
+            c: 0.998,
+            d: 0.0,
+        }
+    }
+
+    /// Identity model: `T = E[N̂q]`.
+    pub fn identity() -> Self {
+        ThresholdModel {
+            a: 1.0,
+            b: 0.0,
+            c: 1.0,
+            d: 0.0,
+        }
+    }
+
+    /// Evaluates `E[T̂]` for a `servers`-core system at `offered` Erlangs.
+    ///
+    /// Because expectation is linear, `E[c·N̂q + d] = c·E[N̂q] + d`.
+    /// Returns at least 1.0 (a threshold of zero would migrate everything)
+    /// and `f64::INFINITY` when the system is overloaded.
+    pub fn expected_threshold(&self, servers: usize, offered: f64) -> f64 {
+        let nq = expected_queue_len(servers, offered);
+        if !nq.is_finite() {
+            return f64::INFINITY;
+        }
+        (self.a * (self.c * nq + self.d) + self.b).max(1.0)
+    }
+
+    /// Integer threshold for runtime comparison against queue depths.
+    /// Saturates at `usize::MAX` when overloaded.
+    pub fn threshold(&self, servers: usize, offered: f64) -> usize {
+        let t = self.expected_threshold(servers, offered);
+        if !t.is_finite() {
+            usize::MAX
+        } else {
+            t.round().max(1.0) as usize
+        }
+    }
+
+    /// Fits `a` and `b` (holding `c=1, d=0`) by least squares from measured
+    /// `(offered_load_erlangs, first_violation_queue_length)` pairs — the
+    /// offline calibration step of Fig. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 points are given or all x-values coincide.
+    pub fn fit(servers: usize, points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two calibration points");
+        let xy: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(offered, t)| (expected_queue_len(servers, offered), t))
+            .filter(|(x, _)| x.is_finite())
+            .collect();
+        assert!(xy.len() >= 2, "need at least two stable calibration points");
+        let (a, b) = linear_fit(&xy);
+        ThresholdModel { a, b, c: 1.0, d: 0.0 }
+    }
+}
+
+/// Naive threshold upper bound `k·L + 1` (paper §IV-A): the queue length at
+/// which *every* subsequent arrival violates an SLO of `L×` the mean service
+/// time. Maximizes migration effectiveness but misses most violations.
+pub fn naive_upper_bound(servers: usize, slo_ratio: f64) -> usize {
+    (servers as f64 * slo_ratio + 1.0).round() as usize
+}
+
+/// Ordinary least squares for `y = a·x + b`.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+        "x values are degenerate; cannot fit a line"
+    );
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    (a, b)
+}
+
+/// Coefficient of determination R² of `y = a·x + b` on `points`.
+pub fn r_squared(points: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 1.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_near_identity() {
+        let m = ThresholdModel::paper_fixed();
+        let t = m.expected_threshold(64, 64.0 * 0.99);
+        let nq = expected_queue_len(64, 64.0 * 0.99);
+        // a*c ~ 1.008: threshold within 1% of E[Nq].
+        assert!((t / nq - 1.008).abs() < 0.001, "t={t} nq={nq}");
+    }
+
+    #[test]
+    fn threshold_monotone_in_load() {
+        let m = ThresholdModel::identity();
+        let mut last = 0.0;
+        for load in [0.90, 0.95, 0.97, 0.99, 0.995] {
+            let t = m.expected_threshold(64, 64.0 * load);
+            assert!(t > last, "threshold must grow with load");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn threshold_floors_at_one() {
+        let m = ThresholdModel::identity();
+        // Light load: E[Nq] ~ 0 but threshold must stay >= 1.
+        assert_eq!(m.threshold(64, 64.0 * 0.1), 1);
+    }
+
+    #[test]
+    fn threshold_overload_saturates() {
+        let m = ThresholdModel::identity();
+        assert_eq!(m.threshold(16, 16.0), usize::MAX);
+        assert!(m.expected_threshold(16, 20.0).is_infinite());
+    }
+
+    #[test]
+    fn naive_bound_matches_paper() {
+        // 64 cores, L=10 => 641 (paper §IV-A).
+        assert_eq!(naive_upper_bound(64, 10.0), 641);
+        assert_eq!(naive_upper_bound(16, 10.0), 161);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 7.0).abs() < 1e-9);
+        assert!((r_squared(&pts, a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_r2() {
+        // Deterministic "noise" via a hash-ish jitter.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 4.0;
+                (x, 2.0 * x + 5.0 + noise)
+            })
+            .collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 2.0).abs() < 0.05, "a={a}");
+        assert!(r_squared(&pts, a, b) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn linear_fit_rejects_constant_x() {
+        linear_fit(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn fit_recovers_linear_threshold_relation() {
+        // Synthesize measurements that truly follow T = 1.2*E[Nq] + 4.
+        let loads = [0.95, 0.96, 0.97, 0.98, 0.99];
+        let k = 64;
+        let pts: Vec<(f64, f64)> = loads
+            .iter()
+            .map(|&l| {
+                let offered = k as f64 * l;
+                (offered, 1.2 * expected_queue_len(k, offered) + 4.0)
+            })
+            .collect();
+        let m = ThresholdModel::fit(k, &pts);
+        assert!((m.a - 1.2).abs() < 1e-6, "a={}", m.a);
+        assert!((m.b - 4.0).abs() < 1e-4, "b={}", m.b);
+        // Prediction at an unseen load interpolates.
+        let offered = k as f64 * 0.975;
+        let predicted = m.expected_threshold(k, offered);
+        let truth = 1.2 * expected_queue_len(k, offered) + 4.0;
+        assert!((predicted - truth).abs() / truth < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_below_upper_bound() {
+        // The fitted threshold at high load should sit well below k*L+1,
+        // which is the point of the model (catch violations earlier).
+        let m = ThresholdModel::paper_fixed();
+        let t = m.threshold(64, 64.0 * 0.99);
+        assert!(t < naive_upper_bound(64, 10.0), "t={t}");
+        assert!(t > 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the queueing analytics.
+
+use proptest::prelude::*;
+use queueing::erlang::{erlang_b, erlang_c, expected_queue_len, MmK};
+use queueing::threshold::{linear_fit, ThresholdModel};
+
+proptest! {
+    /// Erlang-B and Erlang-C are probabilities, with C >= B (delayed
+    /// systems queue at least as much as loss systems block).
+    #[test]
+    fn erlang_probabilities(servers in 1usize..512, load_frac in 0.01f64..0.999) {
+        let offered = servers as f64 * load_frac;
+        let b = erlang_b(servers, offered);
+        let c = erlang_c(servers, offered);
+        prop_assert!((0.0..=1.0).contains(&b), "B={b}");
+        prop_assert!((0.0..=1.0).contains(&c), "C={c}");
+        prop_assert!(c >= b - 1e-12, "C={c} < B={b}");
+    }
+
+    /// Erlang-C is monotone in offered load at fixed server count.
+    #[test]
+    fn erlang_c_monotone(servers in 1usize..256, a in 0.01f64..0.98, delta in 0.001f64..0.01) {
+        let k = servers as f64;
+        let c1 = erlang_c(servers, k * a);
+        let c2 = erlang_c(servers, k * (a + delta).min(0.999));
+        prop_assert!(c2 >= c1 - 1e-12);
+    }
+
+    /// Expected queue length is finite and non-negative for stable systems.
+    #[test]
+    fn queue_len_sane(servers in 1usize..256, load_frac in 0.01f64..0.99) {
+        let nq = expected_queue_len(servers, servers as f64 * load_frac);
+        prop_assert!(nq.is_finite());
+        prop_assert!(nq >= 0.0);
+    }
+
+    /// Little's law holds exactly in the closed form: E[Nq] = lambda*E[Wq].
+    #[test]
+    fn littles_law(servers in 1usize..128, rho in 0.05f64..0.95, mu_mhz in 0.1f64..10.0) {
+        let mu = mu_mhz * 1e6;
+        let lambda = rho * servers as f64 * mu;
+        let m = MmK::new(servers, lambda, mu);
+        let lhs = m.mean_queue_len();
+        let rhs = m.lambda * m.mean_wait_secs();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.max(1.0));
+    }
+
+    /// Waiting-time quantiles are monotone in q.
+    #[test]
+    fn wait_quantiles_monotone(servers in 1usize..64, rho in 0.3f64..0.95) {
+        let mu = 1e6;
+        let m = MmK::new(servers, rho * servers as f64 * mu, mu);
+        let mut last = -1.0;
+        for i in 0..10 {
+            let q = i as f64 / 10.0;
+            let w = m.wait_quantile_secs(q);
+            prop_assert!(w >= last);
+            last = w;
+        }
+    }
+
+    /// linear_fit recovers exact lines from noiseless points.
+    #[test]
+    fn fit_exact_line(a in -50.0f64..50.0, b in -100.0f64..100.0,
+                      xs in proptest::collection::vec(-1000.0f64..1000.0, 2..50)) {
+        // Require x spread to avoid degeneracy.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1.0);
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a * x + b)).collect();
+        let (fa, fb) = linear_fit(&pts);
+        prop_assert!((fa - a).abs() < 1e-6 * (1.0 + a.abs()), "a={a} fa={fa}");
+        prop_assert!((fb - b).abs() < 1e-4 * (1.0 + b.abs()) + 1e-6, "b={b} fb={fb}");
+    }
+
+    /// The threshold is always at least 1 and monotone in load for the
+    /// identity model.
+    #[test]
+    fn threshold_floor_and_monotone(servers in 2usize..128, lo in 0.05f64..0.8, d in 0.01f64..0.15) {
+        let m = ThresholdModel::identity();
+        let k = servers as f64;
+        let hi = (lo + d).min(0.995);
+        let t_lo = m.threshold(servers, k * lo);
+        let t_hi = m.threshold(servers, k * hi);
+        prop_assert!(t_lo >= 1);
+        prop_assert!(t_hi >= t_lo);
+    }
+}

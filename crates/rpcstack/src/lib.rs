@@ -1,0 +1,33 @@
+//! # rpcstack — RPC stack, NIC and transfer-mechanism models
+//!
+//! Models the non-scheduling parts of the RPC system stack (paper Fig. 2):
+//!
+//! - [`stack`]: on-CPU processing cost of TCP/IP, eRPC (~850 ns) and
+//!   nanoRPC (~40 ns) stacks — the "Processing" bar of Fig. 1.
+//! - [`nic`]: on-NIC MAC delay (~30 ns), steering policies
+//!   (RSS connection-hash / random / round-robin, compared in Fig. 9) and
+//!   NIC→core transfer mechanisms (PCIe, cache-coherent integrated NIC,
+//!   nanoPU-style register file).
+//!
+//! # Examples
+//!
+//! ```
+//! use rpcstack::stack::StackModel;
+//! use rpcstack::nic::Transfer;
+//!
+//! // A 300B request over eRPC costs ~1us of processing...
+//! let proc = StackModel::erpc().round_trip(300, 64);
+//! assert!(proc.as_us_f64() < 2.0);
+//! // ...and arrives over PCIe in 200-800ns.
+//! let xfer = Transfer::pcie().latency(300);
+//! assert!((200.0..=800.0).contains(&xfer.as_ns_f64()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod nic;
+pub mod stack;
+
+pub use nic::{NicModel, Steering, Transfer};
+pub use stack::{StackKind, StackModel};

@@ -1,0 +1,143 @@
+//! RPC stack processing-cost models.
+//!
+//! "Processing" is everything a server does to extract an RPC request from a
+//! network packet and to emit the response — transport protocol, RPC header
+//! parsing, deserialization — as distinct from *scheduling* (mapping the
+//! handler to a core), which the paper identifies as the new bottleneck
+//! (Fig. 1). Three stacks are modeled with their published on-CPU costs:
+//!
+//! | stack   | request processing | source |
+//! |---------|--------------------|--------|
+//! | TCP/IP  | ~15 µs             | IX \[8\], Fig. 1 |
+//! | eRPC    | ~850 ns            | Kalia et al., NSDI'19 (§IX-A) |
+//! | nanoRPC | ~40 ns             | nanoPU, OSDI'21 (§IX-A) |
+
+use simcore::time::SimDuration;
+use std::fmt;
+
+/// Which RPC stack terminates the network protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackKind {
+    /// Kernel TCP/IP sockets.
+    TcpIp,
+    /// eRPC: optimized user-space UDP/RDMA stack, ~850 ns per RPC.
+    Erpc,
+    /// nanoRPC: hardware-terminated stack, ~40 ns per RPC.
+    NanoRpc,
+}
+
+impl fmt::Display for StackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StackKind::TcpIp => "TCP/IP",
+            StackKind::Erpc => "eRPC",
+            StackKind::NanoRpc => "nanoRPC",
+        })
+    }
+}
+
+/// Per-request on-CPU processing cost model for one stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackModel {
+    /// Which stack this models.
+    pub kind: StackKind,
+    /// Fixed receive-path processing (header parsing, protocol, RPC layer).
+    pub rx_base: SimDuration,
+    /// Fixed transmit-path processing (response marshalling, protocol).
+    pub tx_base: SimDuration,
+    /// Additional cost per payload byte (copies / checksums), ns per byte.
+    pub ns_per_byte: f64,
+}
+
+impl StackModel {
+    /// Kernel TCP/IP: tens of microseconds per small RPC.
+    pub fn tcp_ip() -> Self {
+        StackModel {
+            kind: StackKind::TcpIp,
+            rx_base: SimDuration::from_us(8),
+            tx_base: SimDuration::from_us(7),
+            ns_per_byte: 2.0,
+        }
+    }
+
+    /// eRPC: ~850 ns total for a small RPC (the paper's §IX-A figure).
+    pub fn erpc() -> Self {
+        StackModel {
+            kind: StackKind::Erpc,
+            rx_base: SimDuration::from_ns(500),
+            tx_base: SimDuration::from_ns(290),
+            ns_per_byte: 0.2,
+        }
+    }
+
+    /// nanoRPC: hardware-terminated, ~40 ns total.
+    pub fn nano_rpc() -> Self {
+        StackModel {
+            kind: StackKind::NanoRpc,
+            rx_base: SimDuration::from_ns(25),
+            tx_base: SimDuration::from_ns(15),
+            ns_per_byte: 0.0,
+        }
+    }
+
+    /// Receive-path processing time for a `bytes`-byte request.
+    pub fn rx(&self, bytes: u32) -> SimDuration {
+        self.rx_base + SimDuration::from_ns_f64(bytes as f64 * self.ns_per_byte)
+    }
+
+    /// Transmit-path processing time for a `bytes`-byte response.
+    pub fn tx(&self, bytes: u32) -> SimDuration {
+        self.tx_base + SimDuration::from_ns_f64(bytes as f64 * self.ns_per_byte)
+    }
+
+    /// Total on-CPU processing (rx + tx) for a request/response pair of the
+    /// given sizes — the "Processing" bar of Fig. 1.
+    pub fn round_trip(&self, req_bytes: u32, resp_bytes: u32) -> SimDuration {
+        self.rx(req_bytes) + self.tx(resp_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_ordering_matches_fig1() {
+        // Fig. 1: TCP/IP >> eRPC >> nanoRPC for a 300B request.
+        let tcp = StackModel::tcp_ip().round_trip(300, 64);
+        let erpc = StackModel::erpc().round_trip(300, 64);
+        let nano = StackModel::nano_rpc().round_trip(300, 64);
+        assert!(tcp > erpc && erpc > nano);
+        assert!(tcp.as_us_f64() > 10.0, "TCP/IP should be 10s of us");
+        assert!(
+            (0.5..2.0).contains(&erpc.as_us_f64()),
+            "eRPC ~850ns+payload, got {erpc}"
+        );
+        assert!(nano.as_ns_f64() <= 50.0, "nanoRPC ~40ns, got {nano}");
+    }
+
+    #[test]
+    fn erpc_small_rpc_near_850ns() {
+        // A small (64B/64B) RPC should be within ~10% of the published 850ns.
+        let t = StackModel::erpc().round_trip(64, 64).as_ns_f64();
+        assert!((t - 850.0).abs() / 850.0 < 0.1, "erpc={t}ns");
+    }
+
+    #[test]
+    fn payload_size_monotone() {
+        let s = StackModel::erpc();
+        assert!(s.rx(1024) > s.rx(64));
+        assert_eq!(
+            StackModel::nano_rpc().rx(64),
+            StackModel::nano_rpc().rx(2048),
+            "nanoRPC is size-independent (DMA into register file)"
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StackKind::TcpIp.to_string(), "TCP/IP");
+        assert_eq!(StackKind::Erpc.to_string(), "eRPC");
+        assert_eq!(StackKind::NanoRpc.to_string(), "nanoRPC");
+    }
+}

@@ -1,0 +1,167 @@
+//! Table I of the paper: the qualitative comparison of scheduler designs.
+//!
+//! Each simulated system in this workspace is catalogued with the paper's
+//! classification of its scheme, manager, communication mechanism and
+//! scalability bottleneck, so the `table1_catalog` experiment binary can
+//! reprint the table from the same source of truth that configures the
+//! models.
+
+/// Where and how scheduling decisions are made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Distributed FCFS (per-core queues).
+    DFcfs,
+    /// Distributed FCFS plus work stealing.
+    DFcfsStealing,
+    /// Centralized FCFS.
+    CFcfs,
+    /// Altocumulus: global d-FCFS across groups, local c-FCFS within.
+    GlobalDLocalC,
+}
+
+impl Scheme {
+    /// Paper nomenclature.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::DFcfs => "d-FCFS",
+            Scheme::DFcfsStealing => "d-FCFS with work stealing",
+            Scheme::CFcfs => "c-FCFS",
+            Scheme::GlobalDLocalC => "global d-FCFS, local c-FCFS",
+        }
+    }
+}
+
+/// Who runs the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Manager {
+    /// Software, in the kernel (IX, ZygOS, Shinjuku).
+    KernelSoftware,
+    /// Hardware RSS on the NIC.
+    NicRss,
+    /// Hardware scheduler on the NIC (JBSQ).
+    NicHardware,
+    /// Altocumulus: SLO-aware user-level software over hardware primitives.
+    SloAwareUserLevel,
+}
+
+impl Manager {
+    /// Paper nomenclature.
+    pub fn label(self) -> &'static str {
+        match self {
+            Manager::KernelSoftware => "s/w, kernel-based",
+            Manager::NicRss => "h/w, NIC RSS",
+            Manager::NicHardware => "h/w, NIC-based",
+            Manager::SloAwareUserLevel => "h/w, SLO-aware user-level",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// System name.
+    pub system: &'static str,
+    /// Scalability bottleneck (paper's wording).
+    pub bottleneck: &'static str,
+    /// Scheduling scheme.
+    pub scheme: Scheme,
+    /// Scheduling manager.
+    pub manager: Manager,
+    /// Communication mechanism.
+    pub communication: &'static str,
+}
+
+/// The full Table I, in paper order.
+pub fn table1() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            system: "ZygOS",
+            bottleneck: "high s/w stealing rate",
+            scheme: Scheme::DFcfsStealing,
+            manager: Manager::KernelSoftware,
+            communication: "PCIe",
+        },
+        CatalogEntry {
+            system: "IX",
+            bottleneck: "imbalance",
+            scheme: Scheme::DFcfs,
+            manager: Manager::KernelSoftware,
+            communication: "PCIe",
+        },
+        CatalogEntry {
+            system: "Shinjuku",
+            bottleneck: "imbalance, dispatcher throughput",
+            scheme: Scheme::CFcfs,
+            manager: Manager::KernelSoftware,
+            communication: "PCIe",
+        },
+        CatalogEntry {
+            system: "eRSS",
+            bottleneck: "imbalance, interconnects",
+            scheme: Scheme::DFcfs,
+            manager: Manager::NicRss,
+            communication: "shared caches",
+        },
+        CatalogEntry {
+            system: "nanoPU",
+            bottleneck: "register file size, NoC",
+            scheme: Scheme::CFcfs,
+            manager: Manager::NicHardware,
+            communication: "register files",
+        },
+        CatalogEntry {
+            system: "RPCValet",
+            bottleneck: "limited cohe. domain size, mem. b/w",
+            scheme: Scheme::CFcfs,
+            manager: Manager::NicHardware,
+            communication: "shared caches",
+        },
+        CatalogEntry {
+            system: "Nebula",
+            bottleneck: "limited coherence domain size",
+            scheme: Scheme::CFcfs,
+            manager: Manager::NicHardware,
+            communication: "migration channel & shared caches",
+        },
+        CatalogEntry {
+            system: "Altocumulus",
+            bottleneck: "mis-prediction penalty, NoC",
+            scheme: Scheme::GlobalDLocalC,
+            manager: Manager::SloAwareUserLevel,
+            communication: "shared caches",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_eight_systems() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        let names: Vec<&str> = t.iter().map(|e| e.system).collect();
+        assert!(names.contains(&"Altocumulus"));
+        assert!(names.contains(&"Nebula"));
+        assert!(names.contains(&"ZygOS"));
+    }
+
+    #[test]
+    fn altocumulus_classification() {
+        let t = table1();
+        let ac = t.iter().find(|e| e.system == "Altocumulus").unwrap();
+        assert_eq!(ac.scheme, Scheme::GlobalDLocalC);
+        assert_eq!(ac.manager, Manager::SloAwareUserLevel);
+        assert_eq!(ac.scheme.label(), "global d-FCFS, local c-FCFS");
+    }
+
+    #[test]
+    fn labels_nonempty() {
+        for e in table1() {
+            assert!(!e.scheme.label().is_empty());
+            assert!(!e.manager.label().is_empty());
+            assert!(!e.bottleneck.is_empty());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Types shared by all simulated scheduling systems.
+
+use simcore::metrics::{LatencyHistogram, LatencySummary};
+use simcore::time::{SimDuration, SimTime};
+use workload::request::{Completion, Request};
+use workload::trace::Trace;
+
+/// A request sitting in some queue inside a simulated system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Index into the driving trace.
+    pub idx: usize,
+    /// Remaining handler time (smaller than the original service time once a
+    /// preemptive scheduler has run part of it).
+    pub remaining: SimDuration,
+    /// Instant the request entered the *current* queue.
+    pub enqueued: SimTime,
+    /// Whether an Altocumulus manager already migrated it (at-most-once).
+    pub migrated: bool,
+}
+
+impl QueuedRequest {
+    /// Creates a fresh entry for trace request `idx`.
+    pub fn new(idx: usize, remaining: SimDuration, enqueued: SimTime) -> Self {
+        QueuedRequest {
+            idx,
+            remaining,
+            enqueued,
+            migrated: false,
+        }
+    }
+}
+
+/// Everything a system run produces: the latency distribution plus
+/// per-request completion records (used for migration-effectiveness
+/// accounting and prediction-accuracy analysis).
+#[derive(Debug, Clone)]
+pub struct SystemResult {
+    /// Server-side latency distribution (NIC arrival → buffers freed).
+    pub hist: LatencyHistogram,
+    /// Per-request completion records, in completion order.
+    pub completions: Vec<Completion>,
+    /// Instant the last request completed.
+    pub end_time: SimTime,
+}
+
+impl SystemResult {
+    /// Creates an empty result sized for `n` requests.
+    pub fn with_capacity(n: usize) -> Self {
+        SystemResult {
+            hist: LatencyHistogram::new(),
+            completions: Vec::with_capacity(n),
+            end_time: SimTime::ZERO,
+        }
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, completion: Completion) {
+        self.hist.record(completion.latency());
+        self.end_time = self.end_time.max(completion.finish);
+        self.completions.push(completion);
+    }
+
+    /// 99th-percentile latency — the paper's SLO metric.
+    pub fn p99(&self) -> SimDuration {
+        self.hist.quantile(0.99)
+    }
+
+    /// Fraction of requests whose latency exceeded `slo`.
+    pub fn violation_ratio(&self, slo: SimDuration) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let violations = self
+            .completions
+            .iter()
+            .filter(|c| c.latency() > slo)
+            .count();
+        violations as f64 / self.completions.len() as f64
+    }
+
+    /// Achieved goodput in requests/second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.end_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 / secs
+    }
+
+    /// Convenience: [`LatencySummary`] of the distribution.
+    pub fn summary(&self) -> LatencySummary {
+        self.hist.summary()
+    }
+
+    /// Per-request latencies indexed by trace position (for effectiveness
+    /// accounting). Missing entries (never completed) are `None`.
+    pub fn latencies_by_request(&self, trace_len: usize) -> Vec<Option<SimDuration>> {
+        let mut out = vec![None; trace_len];
+        for c in &self.completions {
+            let i = c.id.0 as usize;
+            if i < trace_len {
+                out[i] = Some(c.latency());
+            }
+        }
+        out
+    }
+}
+
+/// A simulated end-to-end RPC scheduling system: feed it a trace, get the
+/// measured result. All baselines and Altocumulus configurations implement
+/// this, so experiments can treat them uniformly.
+pub trait RpcSystem {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Consumes `trace` and returns the measured result.
+    fn run(&mut self, trace: &Trace) -> SystemResult;
+}
+
+/// The total on-core cost of executing `req`: stack receive + handler + stack
+/// transmit, with a fixed per-request scheduling overhead added.
+pub fn on_core_cost(
+    rx: SimDuration,
+    tx: SimDuration,
+    req: &Request,
+    sched_overhead: SimDuration,
+) -> SimDuration {
+    rx + req.service + tx + sched_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::request::RequestId;
+
+    fn completion(id: u64, arrival_ns: u64, finish_ns: u64) -> Completion {
+        Completion {
+            id: RequestId(id),
+            arrival: SimTime::from_ns(arrival_ns),
+            finish: SimTime::from_ns(finish_ns),
+            core: 0,
+            migrated: false,
+        }
+    }
+
+    #[test]
+    fn result_records_and_summarizes() {
+        let mut r = SystemResult::with_capacity(4);
+        r.record(completion(0, 0, 100));
+        r.record(completion(1, 0, 200));
+        r.record(completion(2, 0, 300));
+        assert_eq!(r.completions.len(), 3);
+        assert_eq!(r.end_time, SimTime::from_ns(300));
+        assert_eq!(r.summary().count, 3);
+    }
+
+    #[test]
+    fn violation_ratio_counts() {
+        let mut r = SystemResult::with_capacity(2);
+        r.record(completion(0, 0, 100));
+        r.record(completion(1, 0, 1000));
+        assert_eq!(r.violation_ratio(SimDuration::from_ns(500)), 0.5);
+        assert_eq!(r.violation_ratio(SimDuration::from_ns(5000)), 0.0);
+    }
+
+    #[test]
+    fn throughput_over_span() {
+        let mut r = SystemResult::with_capacity(2);
+        r.record(completion(0, 0, 500_000)); // 0.5ms
+        r.record(completion(1, 0, 1_000_000)); // 1ms
+        let rps = r.throughput_rps();
+        assert!((rps - 2000.0).abs() < 1.0, "rps={rps}");
+    }
+
+    #[test]
+    fn latencies_by_request_indexes() {
+        let mut r = SystemResult::with_capacity(3);
+        r.record(completion(2, 0, 50));
+        r.record(completion(0, 10, 100));
+        let v = r.latencies_by_request(3);
+        assert_eq!(v[0], Some(SimDuration::from_ns(90)));
+        assert_eq!(v[1], None);
+        assert_eq!(v[2], Some(SimDuration::from_ns(50)));
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = SystemResult::with_capacity(0);
+        assert_eq!(r.p99(), SimDuration::ZERO);
+        assert_eq!(r.violation_ratio(SimDuration::from_ns(1)), 0.0);
+        assert_eq!(r.throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! d-FCFS: NIC-steered per-core queues with no load balancing.
+//!
+//! This models IX \[8\] and plain RSS NICs (paper §II-D, Fig. 4(b) without the
+//! stealing arrows): the NIC hashes each request to a per-core receive queue
+//! and every core serves its own queue FCFS, run-to-completion. Scalable but
+//! load-oblivious — the paper's example of unpredictable tail latency under
+//! imbalance or dispersed service times.
+
+use crate::common::{on_core_cost, QueuedRequest, RpcSystem, SystemResult};
+use rand::rngs::StdRng;
+use rpcstack::nic::{NicModel, Steering, Transfer};
+use rpcstack::stack::StackModel;
+use simcore::event::{run, EventQueue, World};
+use simcore::rng::{stream_rng, streams};
+use simcore::time::{SimDuration, SimTime};
+use workload::request::Completion;
+use workload::trace::Trace;
+use std::collections::VecDeque;
+
+/// Configuration of a d-FCFS system.
+#[derive(Debug, Clone)]
+pub struct DFcfsConfig {
+    /// Number of worker cores (= receive queues).
+    pub cores: usize,
+    /// RPC stack processed on each core.
+    pub stack: StackModel,
+    /// NIC→core transfer mechanism.
+    pub transfer: Transfer,
+    /// On-NIC processing.
+    pub nic: NicModel,
+    /// Steering policy.
+    pub steering: Steering,
+    /// Fixed per-request scheduling overhead on the core (d-FCFS's private
+    /// queue poll is cheap; default 10 ns).
+    pub sched_overhead: SimDuration,
+    /// RNG seed for steering decisions.
+    pub seed: u64,
+}
+
+impl DFcfsConfig {
+    /// IX-like defaults: TCP-era stack on a PCIe RSS NIC.
+    pub fn ix(cores: usize) -> Self {
+        DFcfsConfig {
+            cores,
+            stack: StackModel::erpc(),
+            transfer: Transfer::pcie(),
+            nic: NicModel::default(),
+            steering: Steering::rss(),
+            sched_overhead: SimDuration::from_ns(10),
+            seed: 0,
+        }
+    }
+
+    /// Commodity RSS NIC with an eRPC-class user-space stack.
+    pub fn rss(cores: usize) -> Self {
+        Self::ix(cores)
+    }
+}
+
+/// The d-FCFS system. See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DFcfs {
+    cfg: DFcfsConfig,
+}
+
+impl DFcfs {
+    /// Creates the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cfg: DFcfsConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        DFcfs { cfg }
+    }
+}
+
+enum Ev {
+    /// Request `idx` reaches its steered queue.
+    Enqueue(usize, usize),
+    /// Core finished its in-service request.
+    Done(usize),
+}
+
+struct DFcfsWorld<'t> {
+    trace: &'t Trace,
+    cfg: DFcfsConfig,
+    queues: Vec<VecDeque<QueuedRequest>>,
+    in_service: Vec<Option<QueuedRequest>>,
+    result: SystemResult,
+}
+
+impl DFcfsWorld<'_> {
+    fn start(&mut self, core: usize, qr: QueuedRequest, now: SimTime, q: &mut EventQueue<Ev>) {
+        let req = &self.trace.requests()[qr.idx];
+        let cost = on_core_cost(
+            self.cfg.stack.rx(req.size_bytes),
+            self.cfg.stack.tx(64),
+            req,
+            self.cfg.sched_overhead,
+        );
+        self.in_service[core] = Some(qr);
+        q.push(now + cost, Ev::Done(core));
+    }
+}
+
+impl World for DFcfsWorld<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::Enqueue(idx, core) => {
+                let req = &self.trace.requests()[idx];
+                let qr = QueuedRequest::new(idx, req.service, now);
+                if self.in_service[core].is_none() {
+                    self.start(core, qr, now, q);
+                } else {
+                    self.queues[core].push_back(qr);
+                }
+            }
+            Ev::Done(core) => {
+                let qr = self.in_service[core]
+                    .take()
+                    .expect("Done on an idle core");
+                let req = &self.trace.requests()[qr.idx];
+                self.result.record(Completion {
+                    id: req.id,
+                    arrival: req.arrival,
+                    finish: now,
+                    core,
+                    migrated: false,
+                });
+                if let Some(next) = self.queues[core].pop_front() {
+                    self.start(core, next, now, q);
+                }
+            }
+        }
+    }
+}
+
+impl RpcSystem for DFcfs {
+    fn name(&self) -> String {
+        format!("d-FCFS/{}({})", self.cfg.steering.label(), self.cfg.cores)
+    }
+
+    fn run(&mut self, trace: &Trace) -> SystemResult {
+        let mut steering = self.cfg.steering.clone();
+        let mut rng: StdRng = stream_rng(self.cfg.seed, streams::NIC);
+        let mut queue = EventQueue::with_capacity(trace.len() * 2);
+        for (idx, req) in trace.iter().enumerate() {
+            let core = steering.steer(req.conn, self.cfg.cores, &mut rng);
+            let deliver =
+                req.arrival + self.cfg.nic.mac_delay + self.cfg.transfer.latency(req.size_bytes);
+            queue.push(deliver, Ev::Enqueue(idx, core));
+        }
+        let mut world = DFcfsWorld {
+            trace,
+            cfg: self.cfg.clone(),
+            queues: vec![VecDeque::new(); self.cfg.cores],
+            in_service: vec![None; self.cfg.cores],
+            result: SystemResult::with_capacity(trace.len()),
+        };
+        run(&mut world, &mut queue, SimTime::MAX);
+        world.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::arrival::PoissonProcess;
+    use workload::dist::ServiceDistribution;
+    use workload::trace::TraceBuilder;
+
+    fn trace(load: f64, cores: usize, n: usize) -> Trace {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_us(1));
+        let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
+        TraceBuilder::new(PoissonProcess::new(rate), dist)
+            .requests(n)
+            .connections(256)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn completes_every_request() {
+        let t = trace(0.5, 8, 5000);
+        let mut sys = DFcfs::new(DFcfsConfig::rss(8));
+        let r = sys.run(&t);
+        assert_eq!(r.completions.len(), 5000);
+    }
+
+    #[test]
+    fn latency_at_least_floor() {
+        // Even an idle system pays NIC + PCIe + stack + service.
+        let t = trace(0.05, 8, 500);
+        let mut sys = DFcfs::new(DFcfsConfig::rss(8));
+        let r = sys.run(&t);
+        let floor = SimDuration::from_ns(30) // mac
+            + Transfer::pcie().latency(300)
+            + StackModel::erpc().rx(300)
+            + SimDuration::from_us(1) // service
+            + StackModel::erpc().tx(64);
+        assert!(r.hist.min() >= floor, "min={} floor={}", r.hist.min(), floor);
+    }
+
+    #[test]
+    fn higher_load_higher_tail() {
+        let mut sys = DFcfs::new(DFcfsConfig::rss(8));
+        let lo = sys.run(&trace(0.3, 8, 20_000)).p99();
+        let hi = sys.run(&trace(0.9, 8, 20_000)).p99();
+        assert!(hi > lo, "p99 lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = trace(0.7, 4, 2000);
+        let a = DFcfs::new(DFcfsConfig::rss(4)).run(&t);
+        let b = DFcfs::new(DFcfsConfig::rss(4)).run(&t);
+        assert_eq!(a.p99(), b.p99());
+        assert_eq!(a.completions.len(), b.completions.len());
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn rss_imbalance_hurts_vs_round_robin() {
+        // With few connections, RSS hashing concentrates load; per-packet
+        // round-robin balances perfectly. Tail must be worse for RSS.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_us(1));
+        let rate = PoissonProcess::rate_for_load(0.7, 8, dist.mean());
+        let t = TraceBuilder::new(PoissonProcess::new(rate), dist)
+            .requests(30_000)
+            .connections(6) // fewer connections than cores
+            .seed(1)
+            .build();
+        let mut rss = DFcfs::new(DFcfsConfig::rss(8));
+        let mut rr = DFcfs::new(DFcfsConfig {
+            steering: Steering::round_robin(),
+            ..DFcfsConfig::rss(8)
+        });
+        let p99_rss = rss.run(&t).p99();
+        let p99_rr = rr.run(&t).p99();
+        assert!(
+            p99_rss > p99_rr,
+            "RSS p99 {p99_rss} should exceed RR p99 {p99_rr}"
+        );
+    }
+
+    #[test]
+    fn single_core_fcfs_order() {
+        let t = trace(0.5, 1, 100);
+        let mut sys = DFcfs::new(DFcfsConfig::rss(1));
+        let r = sys.run(&t);
+        // FCFS on one queue: completions in arrival (id) order.
+        for pair in r.completions.windows(2) {
+            assert!(pair[0].id < pair[1].id);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Load sweeps and throughput@SLO search.
+//!
+//! The paper's primary metric is *throughput@SLO*: the highest offered load
+//! whose measured 99th-percentile latency stays within the SLO (§II-A).
+//! [`throughput_at_slo`] finds it by bisection over a caller-provided
+//! evaluation closure, so it works for every system in this workspace.
+
+use simcore::time::SimDuration;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load (fraction of system capacity).
+    pub load: f64,
+    /// Measured p99 latency at that load.
+    pub p99: SimDuration,
+}
+
+/// Evaluates `eval` at each load in `loads` and returns the series.
+pub fn sweep_loads<F>(loads: &[f64], mut eval: F) -> Vec<SweepPoint>
+where
+    F: FnMut(f64) -> SimDuration,
+{
+    loads
+        .iter()
+        .map(|&load| SweepPoint {
+            load,
+            p99: eval(load),
+        })
+        .collect()
+}
+
+/// Finds the highest load in `[lo, hi]` with `eval(load) <= slo`, to within
+/// `tol` of load, by bisection. Returns `None` if even `lo` violates.
+///
+/// `eval` must be monotone-ish in load (tail latency grows with load), which
+/// holds for all the queueing systems here.
+///
+/// # Panics
+///
+/// Panics if the interval or tolerance is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use schedulers::sweep::throughput_at_slo;
+/// use simcore::time::SimDuration;
+///
+/// // A toy system whose p99 is load*10us.
+/// let best = throughput_at_slo(
+///     |load| SimDuration::from_ns_f64(load * 10_000.0),
+///     SimDuration::from_us(5),
+///     0.05, 1.0, 0.01,
+/// );
+/// let best = best.unwrap();
+/// assert!((best - 0.5).abs() < 0.02, "best={best}");
+/// ```
+pub fn throughput_at_slo<F>(
+    mut eval: F,
+    slo: SimDuration,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Option<f64>
+where
+    F: FnMut(f64) -> SimDuration,
+{
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if eval(lo) > slo {
+        return None;
+    }
+    let (mut good, mut bad) = (lo, hi);
+    if eval(hi) <= slo {
+        return Some(hi);
+    }
+    while bad - good > tol {
+        let mid = (good + bad) / 2.0;
+        if eval(mid) <= slo {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_crossover() {
+        // p99 = load^2 * 100us; SLO 25us -> load 0.5.
+        let f = |load: f64| SimDuration::from_ns_f64(load * load * 100_000.0);
+        let best = throughput_at_slo(f, SimDuration::from_us(25), 0.05, 1.0, 0.005).unwrap();
+        assert!((best - 0.5).abs() < 0.01, "best={best}");
+    }
+
+    #[test]
+    fn returns_hi_if_never_violates() {
+        let f = |_| SimDuration::from_ns(1);
+        assert_eq!(
+            throughput_at_slo(f, SimDuration::from_us(1), 0.1, 0.95, 0.01),
+            Some(0.95)
+        );
+    }
+
+    #[test]
+    fn returns_none_if_always_violates() {
+        let f = |_| SimDuration::from_ms(1);
+        assert_eq!(
+            throughput_at_slo(f, SimDuration::from_us(1), 0.1, 0.95, 0.01),
+            None
+        );
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let pts = sweep_loads(&[0.1, 0.5, 0.9], |l| SimDuration::from_ns_f64(l * 100.0));
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].load, 0.5);
+        assert_eq!(pts[2].p99, SimDuration::from_ns(90));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn rejects_bad_interval() {
+        throughput_at_slo(|_| SimDuration::ZERO, SimDuration::from_ns(1), 0.5, 0.2, 0.01);
+    }
+}

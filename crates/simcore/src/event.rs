@@ -1,0 +1,302 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by time,
+//! with ties broken by insertion sequence number so that simulations are
+//! bit-reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a particular instant.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-time priority queue of simulation events.
+///
+/// Events that share an instant pop in the order they were pushed (FIFO),
+/// which keeps runs deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::event::EventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(10), "late");
+/// q.push(SimTime::from_ns(5), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The world a [`run`] loop drives: a state machine that reacts to events and
+/// may schedule further events.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handles `event` occurring at `now`; may push follow-up events onto
+    /// `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Called after each event is handled; returning `true` stops the run
+    /// early (e.g. once enough requests completed).
+    fn should_stop(&self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// Outcome of driving a [`World`] to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of events dispatched.
+    pub events: u64,
+    /// Simulated instant at which the run ended.
+    pub end_time: SimTime,
+    /// True if the run ended because [`World::should_stop`] returned `true`
+    /// (as opposed to queue exhaustion or the horizon).
+    pub stopped_early: bool,
+}
+
+/// Drains `queue` through `world` until the queue empties, `horizon` passes,
+/// or the world requests a stop.
+///
+/// Events scheduled beyond `horizon` are left unprocessed.
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+) -> RunSummary {
+    let mut events = 0u64;
+    let mut now = SimTime::ZERO;
+    while let Some(t) = queue.peek_time() {
+        if t > horizon {
+            return RunSummary {
+                events,
+                end_time: now,
+                stopped_early: false,
+            };
+        }
+        let (t, event) = queue.pop().expect("peeked event must exist");
+        debug_assert!(t >= now, "event queue went backwards in time");
+        now = t;
+        world.handle(now, event, queue);
+        events += 1;
+        if world.should_stop(now) {
+            return RunSummary {
+                events,
+                end_time: now,
+                stopped_early: true,
+            };
+        }
+    }
+    RunSummary {
+        events,
+        end_time: now,
+        stopped_early: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(5), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(5)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    /// A world that re-schedules a tick N times then stops.
+    struct Ticker {
+        remaining: u32,
+        period: SimDuration,
+        seen: Vec<SimTime>,
+    }
+
+    impl World for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), queue: &mut EventQueue<()>) {
+            self.seen.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.push(now + self.period, ());
+            }
+        }
+        fn should_stop(&self, _now: SimTime) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn run_loop_drives_world() {
+        let mut w = Ticker {
+            remaining: 4,
+            period: SimDuration::from_ns(10),
+            seen: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let summary = run(&mut w, &mut q, SimTime::MAX);
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.end_time, SimTime::from_ns(40));
+        assert!(!summary.stopped_early);
+        assert_eq!(w.seen.len(), 5);
+    }
+
+    #[test]
+    fn run_respects_horizon() {
+        let mut w = Ticker {
+            remaining: 1000,
+            period: SimDuration::from_ns(10),
+            seen: Vec::new(),
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        let summary = run(&mut w, &mut q, SimTime::from_ns(35));
+        // Events at 0,10,20,30 processed; 40 is beyond the horizon.
+        assert_eq!(summary.events, 4);
+        assert!(!q.is_empty());
+    }
+
+    struct StopAtThree(u32);
+    impl World for StopAtThree {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, e: u32, _q: &mut EventQueue<u32>) {
+            self.0 = e;
+        }
+        fn should_stop(&self, _now: SimTime) -> bool {
+            self.0 == 3
+        }
+    }
+
+    #[test]
+    fn run_stops_early() {
+        let mut w = StopAtThree(0);
+        let mut q = EventQueue::new();
+        for i in 1..=10 {
+            q.push(SimTime::from_ns(i as u64), i);
+        }
+        let summary = run(&mut w, &mut q, SimTime::MAX);
+        assert!(summary.stopped_early);
+        assert_eq!(summary.events, 3);
+        assert_eq!(q.len(), 7);
+    }
+}

@@ -1,0 +1,161 @@
+//! Steady-state statistics: batch means and confidence intervals.
+//!
+//! Simulation estimates of tail latency are themselves random variables.
+//! The batch-means method splits a run's observations into contiguous
+//! batches, treats batch averages as (approximately) independent samples,
+//! and yields a confidence interval on the mean — the standard way to
+//! quantify how trustworthy a single-run number is without replications.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Point estimate of the mean.
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+    /// Number of batches used.
+    pub batches: usize,
+}
+
+impl MeanCi {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Relative precision (half-width / mean), or infinity at mean 0.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical values at 95% confidence for `df` degrees of
+/// freedom (clamped to the asymptotic 1.96 beyond the table).
+fn t_crit_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Batch-means 95% confidence interval on the mean of `samples`, discarding
+/// the first `warmup` observations (transient) and splitting the rest into
+/// `batches` equal batches.
+///
+/// Returns `None` when there are not enough observations for at least two
+/// batches of two observations each.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::stats::batch_means_ci;
+/// let xs: Vec<f64> = (0..10_000).map(|i| (i % 7) as f64).collect();
+/// let ci = batch_means_ci(&xs, 100, 20).unwrap();
+/// assert!((ci.mean - 3.0).abs() < 0.1);
+/// assert!(ci.half_width < 0.2);
+/// ```
+pub fn batch_means_ci(samples: &[f64], warmup: usize, batches: usize) -> Option<MeanCi> {
+    if batches < 2 {
+        return None;
+    }
+    let body = samples.get(warmup..)?;
+    let per = body.len() / batches;
+    if per < 2 {
+        return None;
+    }
+    let means: Vec<f64> = (0..batches)
+        .map(|b| {
+            let chunk = &body[b * per..(b + 1) * per];
+            chunk.iter().sum::<f64>() / per as f64
+        })
+        .collect();
+    let grand = means.iter().sum::<f64>() / batches as f64;
+    let var = means.iter().map(|m| (m - grand).powi(2)).sum::<f64>() / (batches as f64 - 1.0);
+    let se = (var / batches as f64).sqrt();
+    Some(MeanCi {
+        mean: grand,
+        half_width: t_crit_95(batches - 1) * se,
+        batches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_data_zero_width() {
+        let xs = vec![5.0; 1000];
+        let ci = batch_means_ci(&xs, 0, 10).unwrap();
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.lo(), 5.0);
+        assert_eq!(ci.hi(), 5.0);
+    }
+
+    #[test]
+    fn interval_covers_true_mean() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| 10.0 + rng.random::<f64>() - 0.5).collect();
+        let ci = batch_means_ci(&xs, 1000, 30).unwrap();
+        assert!(ci.lo() <= 10.0 && 10.0 <= ci.hi(), "{ci:?}");
+        assert!(ci.relative() < 0.01);
+    }
+
+    #[test]
+    fn warmup_discards_transient() {
+        // Transient of huge values then steady 1.0.
+        let mut xs = vec![1000.0; 500];
+        xs.extend(std::iter::repeat(1.0).take(10_000));
+        let with = batch_means_ci(&xs, 500, 10).unwrap();
+        assert!((with.mean - 1.0).abs() < 1e-9);
+        let without = batch_means_ci(&xs, 0, 10).unwrap();
+        assert!(without.mean > 1.0);
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert!(batch_means_ci(&[1.0, 2.0], 0, 2).is_none());
+        assert!(batch_means_ci(&[1.0; 100], 0, 1).is_none());
+        assert!(batch_means_ci(&[1.0; 10], 9, 2).is_none());
+    }
+
+    #[test]
+    fn wider_with_fewer_batches() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.random::<f64>() * 100.0).collect();
+        let few = batch_means_ci(&xs, 0, 4).unwrap();
+        let many = batch_means_ci(&xs, 0, 30).unwrap();
+        // t-critical shrinks and the SE averages down with more batches.
+        assert!(
+            few.half_width > many.half_width,
+            "few={few:?} many={many:?}"
+        );
+    }
+
+    #[test]
+    fn t_table_sane() {
+        assert!(t_crit_95(1) > 12.0);
+        assert!((t_crit_95(100) - 1.96).abs() < 1e-9);
+        assert!(t_crit_95(5) < t_crit_95(2));
+    }
+}

@@ -1,0 +1,335 @@
+//! Service-time distributions.
+//!
+//! The paper evaluates three "widely-used service time distributions" —
+//! Fixed, Uniform and Bi-modal (§IV-A, Fig. 7) — plus exponential and
+//! log-normal for sensitivity. Sampling is implemented here directly
+//! (inverse-CDF for exponential, Box–Muller for normal) so the only runtime
+//! dependency is `rand` itself.
+
+use rand::Rng;
+use simcore::time::SimDuration;
+use std::fmt;
+
+/// A distribution of per-request service times.
+///
+/// # Examples
+///
+/// ```
+/// use workload::dist::ServiceDistribution;
+/// use simcore::time::SimDuration;
+/// use rand::SeedableRng;
+///
+/// let dist = ServiceDistribution::bimodal_paper(); // 99.5% 0.5us, 0.5% 500us
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = dist.sample(&mut rng);
+/// assert!(s >= SimDuration::from_ns(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDistribution {
+    /// Every request takes exactly this long.
+    Fixed(SimDuration),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+    },
+    /// Two-point mixture: with probability `p_long` the request takes
+    /// `long`, otherwise `short`. Models short GET/SET vs. long SCAN.
+    Bimodal {
+        /// Service time of the common, short class.
+        short: SimDuration,
+        /// Service time of the rare, long class.
+        long: SimDuration,
+        /// Probability of drawing the long class (in `[0,1]`).
+        p_long: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean service time.
+        mean: SimDuration,
+    },
+    /// Log-normal parameterized by its median and the σ of the underlying
+    /// normal (a σ of ~1 gives the heavy dispersion seen in storage traces).
+    Lognormal {
+        /// Median service time (e^µ of the underlying normal).
+        median: SimDuration,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// The paper's headline Bimodal workload (§VIII-A): 99.5% of requests
+    /// take 0.5 µs and 0.5% take 500 µs.
+    pub fn bimodal_paper() -> Self {
+        ServiceDistribution::Bimodal {
+            short: SimDuration::from_ns(500),
+            long: SimDuration::from_us(500),
+            p_long: 0.005,
+        }
+    }
+
+    /// The MICA + nanoRPC mix of §IX-D: 99.5% ~50 ns GET/SET, 0.5% ~50 µs
+    /// SCAN.
+    pub fn mica_mix_paper() -> Self {
+        ServiceDistribution::Bimodal {
+            short: SimDuration::from_ns(50),
+            long: SimDuration::from_us(50),
+            p_long: 0.005,
+        }
+    }
+
+    /// A fixed 850 ns service time: one eRPC-stack request (§IX-C).
+    pub fn erpc_fixed() -> Self {
+        ServiceDistribution::Fixed(SimDuration::from_ns(850))
+    }
+
+    /// Draws one service time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            ServiceDistribution::Fixed(d) => d,
+            ServiceDistribution::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                let span = hi.as_ps() - lo.as_ps();
+                SimDuration::from_ps(lo.as_ps() + (rng.random::<f64>() * span as f64) as u64)
+            }
+            ServiceDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                if rng.random::<f64>() < p_long {
+                    long
+                } else {
+                    short
+                }
+            }
+            ServiceDistribution::Exponential { mean } => {
+                SimDuration::from_ns_f64(sample_exponential(rng) * mean.as_ns_f64())
+            }
+            ServiceDistribution::Lognormal { median, sigma } => {
+                let z = sample_standard_normal(rng);
+                SimDuration::from_ns_f64(median.as_ns_f64() * (sigma * z).exp())
+            }
+        }
+    }
+
+    /// The exact mean of the distribution.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            ServiceDistribution::Fixed(d) => d,
+            ServiceDistribution::Uniform { lo, hi } => {
+                SimDuration::from_ps((lo.as_ps() + hi.as_ps()) / 2)
+            }
+            ServiceDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => SimDuration::from_ns_f64(
+                short.as_ns_f64() * (1.0 - p_long) + long.as_ns_f64() * p_long,
+            ),
+            ServiceDistribution::Exponential { mean } => mean,
+            ServiceDistribution::Lognormal { median, sigma } => {
+                SimDuration::from_ns_f64(median.as_ns_f64() * (sigma * sigma / 2.0).exp())
+            }
+        }
+    }
+
+    /// Squared coefficient of variation (variance / mean²); 0 for Fixed,
+    /// 1 for Exponential, large for dispersed bimodals. Drives queueing
+    /// approximations.
+    pub fn scv(&self) -> f64 {
+        match *self {
+            ServiceDistribution::Fixed(_) => 0.0,
+            ServiceDistribution::Uniform { lo, hi } => {
+                let a = lo.as_ns_f64();
+                let b = hi.as_ns_f64();
+                let mean = (a + b) / 2.0;
+                if mean == 0.0 {
+                    return 0.0;
+                }
+                ((b - a).powi(2) / 12.0) / (mean * mean)
+            }
+            ServiceDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
+                let s = short.as_ns_f64();
+                let l = long.as_ns_f64();
+                let m = s * (1.0 - p_long) + l * p_long;
+                if m == 0.0 {
+                    return 0.0;
+                }
+                let ex2 = s * s * (1.0 - p_long) + l * l * p_long;
+                (ex2 - m * m) / (m * m)
+            }
+            ServiceDistribution::Exponential { .. } => 1.0,
+            ServiceDistribution::Lognormal { sigma, .. } => (sigma * sigma).exp() - 1.0,
+        }
+    }
+
+    /// Short human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceDistribution::Fixed(_) => "Fixed",
+            ServiceDistribution::Uniform { .. } => "Uniform",
+            ServiceDistribution::Bimodal { .. } => "Bimodal",
+            ServiceDistribution::Exponential { .. } => "Exponential",
+            ServiceDistribution::Lognormal { .. } => "Lognormal",
+        }
+    }
+}
+
+impl fmt::Display for ServiceDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServiceDistribution::Fixed(d) => write!(f, "Fixed({d})"),
+            ServiceDistribution::Uniform { lo, hi } => write!(f, "Uniform[{lo},{hi}]"),
+            ServiceDistribution::Bimodal {
+                short,
+                long,
+                p_long,
+            } => write!(f, "Bimodal({short}/{long}, p_long={p_long})"),
+            ServiceDistribution::Exponential { mean } => write!(f, "Exp(mean={mean})"),
+            ServiceDistribution::Lognormal { median, sigma } => {
+                write!(f, "Lognormal(median={median}, sigma={sigma})")
+            }
+        }
+    }
+}
+
+/// Draws Exp(1) via inverse CDF. Guards against `ln(0)`.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln()
+}
+
+/// Draws a standard normal via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: &ServiceDistribution, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng).as_ns_f64()).sum();
+        total / n as f64
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_ns(850));
+        }
+        assert_eq!(d.mean(), SimDuration::from_ns(850));
+        assert_eq!(d.scv(), 0.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = ServiceDistribution::Uniform {
+            lo: SimDuration::from_ns(100),
+            hi: SimDuration::from_ns(300),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= SimDuration::from_ns(100) && s <= SimDuration::from_ns(300));
+        }
+        let m = sample_mean(&d, 100_000, 2);
+        assert!((m - 200.0).abs() < 2.0, "mean={m}");
+        assert_eq!(d.mean(), SimDuration::from_ns(200));
+    }
+
+    #[test]
+    fn bimodal_proportions() {
+        let d = ServiceDistribution::bimodal_paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let longs = (0..n)
+            .filter(|_| d.sample(&mut rng) == SimDuration::from_us(500))
+            .count();
+        let p = longs as f64 / n as f64;
+        assert!((p - 0.005).abs() < 0.001, "p_long={p}");
+    }
+
+    #[test]
+    fn bimodal_mean_formula() {
+        let d = ServiceDistribution::bimodal_paper();
+        // 0.995*0.5us + 0.005*500us = 0.4975 + 2.5 = 2.9975 us
+        let m = d.mean().as_us_f64();
+        assert!((m - 2.9975).abs() < 1e-9, "mean={m}");
+    }
+
+    #[test]
+    fn exponential_mean_and_scv() {
+        let d = ServiceDistribution::Exponential {
+            mean: SimDuration::from_ns(1000),
+        };
+        let m = sample_mean(&d, 200_000, 4);
+        assert!((m - 1000.0).abs() / 1000.0 < 0.02, "mean={m}");
+        assert_eq!(d.scv(), 1.0);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let d = ServiceDistribution::Lognormal {
+            median: SimDuration::from_ns(1000),
+            sigma: 0.5,
+        };
+        let expected = 1000.0 * (0.125f64).exp();
+        let m = sample_mean(&d, 400_000, 5);
+        assert!((m - expected).abs() / expected < 0.02, "mean={m} expected={expected}");
+        // mean() rounds to picoseconds, so allow ps-scale error.
+        assert!((d.mean().as_ns_f64() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn scv_ordering() {
+        let fixed = ServiceDistribution::Fixed(SimDuration::from_ns(100));
+        let exp = ServiceDistribution::Exponential {
+            mean: SimDuration::from_ns(100),
+        };
+        let bimodal = ServiceDistribution::bimodal_paper();
+        assert!(fixed.scv() < exp.scv());
+        assert!(exp.scv() < bimodal.scv());
+        // The paper's bimodal is extremely dispersed.
+        assert!(bimodal.scv() > 50.0);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(ServiceDistribution::bimodal_paper().name(), "Bimodal");
+        let s = ServiceDistribution::erpc_fixed().to_string();
+        assert!(s.contains("850"));
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let z = sample_standard_normal(&mut rng);
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+}

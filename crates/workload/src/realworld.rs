@@ -1,0 +1,143 @@
+//! "Real-world" traffic synthesis (paper §VII-B substitution).
+//!
+//! The paper drives its end-to-end experiments with arrival patterns from a
+//! regression model trained on Microsoft Azure / Huawei Cloud traces
+//! [Bergsma et al., SOSP'21]; that model and its data are proprietary. The
+//! behaviours the evaluation actually depends on are (a) burstiness beyond
+//! Poisson and (b) *temporal imbalance*: different connections/queues peak
+//! at different times (Fig. 9), which static schedulers cannot follow.
+//!
+//! [`clustered_bursty`] reproduces both: it splits connections into
+//! clusters, gives each cluster an independent [`MmppProcess`] phase, and
+//! merges the streams. Aggregate load matches the target while individual
+//! receive queues see desynchronized bursts.
+
+use crate::arrival::MmppProcess;
+use crate::dist::ServiceDistribution;
+use crate::trace::{Trace, TraceBuilder};
+use simcore::rng::derive_seed;
+
+/// Builds a bursty, temporally-imbalanced trace: `clusters` independent
+/// MMPP streams, each owning `connections_per_cluster` distinct connections,
+/// merged by arrival time.
+///
+/// `total_rate` is the long-run aggregate rate (requests/second); each
+/// cluster runs at `total_rate / clusters` with its own burst phase.
+///
+/// # Panics
+///
+/// Panics if `clusters` is zero or the per-cluster request share is zero.
+///
+/// # Examples
+///
+/// ```
+/// use workload::realworld::clustered_bursty;
+/// use workload::ServiceDistribution;
+/// use simcore::time::SimDuration;
+///
+/// let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+/// let trace = clustered_bursty(dist, 10.0e6, 8, 16, 8_000, 42);
+/// assert_eq!(trace.len(), 8_000);
+/// ```
+pub fn clustered_bursty(
+    dist: ServiceDistribution,
+    total_rate: f64,
+    clusters: u32,
+    connections_per_cluster: u32,
+    n_requests: usize,
+    seed: u64,
+) -> Trace {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(total_rate > 0.0);
+    let per_cluster = n_requests / clusters as usize;
+    assert!(per_cluster > 0, "too few requests for {clusters} clusters");
+    let mut parts = Vec::with_capacity(clusters as usize);
+    for c in 0..clusters {
+        let proc = MmppProcess::bursty(total_rate / clusters as f64);
+        let t = TraceBuilder::new(proc, dist)
+            .requests(per_cluster)
+            .connections(connections_per_cluster)
+            .connection_offset(c * connections_per_cluster)
+            .seed(derive_seed(seed, c as u64 + 1))
+            .build();
+        parts.push(t);
+    }
+    Trace::merge(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    fn dist() -> ServiceDistribution {
+        ServiceDistribution::Fixed(SimDuration::from_ns(850))
+    }
+
+    #[test]
+    fn aggregate_rate_near_target() {
+        let t = clustered_bursty(dist(), 20e6, 8, 8, 160_000, 1);
+        let measured = t.measured_rate();
+        assert!(
+            (measured - 20e6).abs() / 20e6 < 0.25,
+            "rate={measured:.0} (clusters drift independently, wide tolerance)"
+        );
+    }
+
+    #[test]
+    fn connections_are_disjoint_per_cluster() {
+        let t = clustered_bursty(dist(), 5e6, 4, 10, 4_000, 2);
+        // All connections in [0, 40); each cluster's in its own decade.
+        assert!(t.iter().all(|r| r.conn.0 < 40));
+        let mut per_cluster = [false; 4];
+        for r in t.iter() {
+            per_cluster[(r.conn.0 / 10) as usize] = true;
+        }
+        assert!(per_cluster.iter().all(|&b| b), "every cluster contributes");
+    }
+
+    #[test]
+    fn ids_sequential_in_arrival_order() {
+        let t = clustered_bursty(dist(), 5e6, 4, 4, 4_000, 3);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+        for w in t.requests().windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn clusters_desynchronized() {
+        // Within short windows, per-cluster counts should differ wildly at
+        // least some of the time (temporal imbalance).
+        let t = clustered_bursty(dist(), 50e6, 4, 4, 200_000, 4);
+        let window = SimDuration::from_us(20);
+        let mut max_imbalance = 0.0f64;
+        let mut w_end = window;
+        let mut counts = [0u32; 4];
+        for r in t.iter() {
+            while r.arrival.as_ps() > w_end.as_ps() {
+                let total: u32 = counts.iter().sum();
+                if total > 20 {
+                    let max = *counts.iter().max().unwrap() as f64;
+                    let min = *counts.iter().min().unwrap() as f64;
+                    max_imbalance = max_imbalance.max((max - min) / (total as f64 / 4.0));
+                }
+                counts = [0; 4];
+                w_end = w_end + window;
+            }
+            counts[(r.conn.0 / 4) as usize % 4] += 1;
+        }
+        assert!(
+            max_imbalance > 0.5,
+            "clusters should burst out of phase (imbalance={max_imbalance})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn rejects_zero_clusters() {
+        clustered_bursty(dist(), 1e6, 0, 4, 100, 0);
+    }
+}

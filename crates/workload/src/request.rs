@@ -1,0 +1,147 @@
+//! RPC request records flowing through simulated systems.
+
+use simcore::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Unique identifier of a request within one trace/run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Network connection (flow) a request arrived on. RSS steers by connection
+/// hash, so imbalance between connections becomes core imbalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnectionId(pub u32);
+
+/// The operation a request asks for. `Generic` is used by synthetic
+/// workloads; the KVS kinds drive the MICA end-to-end experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestKind {
+    /// Synthetic request with an opaque handler.
+    #[default]
+    Generic,
+    /// Key-value GET.
+    Get,
+    /// Key-value SET.
+    Set,
+    /// Long-running key-range SCAN.
+    Scan,
+}
+
+impl RequestKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::Generic => "generic",
+            RequestKind::Get => "get",
+            RequestKind::Set => "set",
+            RequestKind::Scan => "scan",
+        }
+    }
+}
+
+/// One RPC request: when it reaches the NIC, how long its handler runs, and
+/// how it is classified.
+///
+/// The service time is pre-drawn at generation so that *every scheduler sees
+/// the identical workload* — the paper's comparisons (Fig. 10, 14) depend on
+/// this, and it makes runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Unique id within the trace.
+    pub id: RequestId,
+    /// Instant the request arrives at the NIC.
+    pub arrival: SimTime,
+    /// On-core handler execution time (excluding queueing/stack overheads).
+    pub service: SimDuration,
+    /// Operation class.
+    pub kind: RequestKind,
+    /// Originating connection (drives RSS steering).
+    pub conn: ConnectionId,
+    /// Wire size of the request message in bytes (drives PCIe/NoC transfer
+    /// cost models). Paper: 75% of RPC requests < 512 B.
+    pub size_bytes: u32,
+}
+
+impl Request {
+    /// Creates a synthetic request with `Generic` kind and a 300 B payload
+    /// (the message size of the paper's Fig. 1 experiment).
+    pub fn synthetic(id: u64, arrival: SimTime, service: SimDuration, conn: u32) -> Self {
+        Request {
+            id: RequestId(id),
+            arrival,
+            service,
+            kind: RequestKind::Generic,
+            conn: ConnectionId(conn),
+            size_bytes: 300,
+        }
+    }
+}
+
+/// Final accounting for a completed request, produced by every simulated
+/// system. Latency is server-side, per §VII-B: from NIC arrival until the
+/// response buffers are freed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Which request completed.
+    pub id: RequestId,
+    /// NIC arrival time.
+    pub arrival: SimTime,
+    /// Time the handler finished and buffers were freed.
+    pub finish: SimTime,
+    /// Core that executed the handler.
+    pub core: usize,
+    /// Whether the request was migrated between managers (Altocumulus only).
+    pub migrated: bool,
+}
+
+impl Completion {
+    /// Server-side latency: finish − arrival.
+    pub fn latency(&self) -> SimDuration {
+        self.finish.saturating_since(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_finish_minus_arrival() {
+        let c = Completion {
+            id: RequestId(1),
+            arrival: SimTime::from_ns(100),
+            finish: SimTime::from_ns(350),
+            core: 3,
+            migrated: false,
+        };
+        assert_eq!(c.latency(), SimDuration::from_ns(250));
+    }
+
+    #[test]
+    fn synthetic_defaults() {
+        let r = Request::synthetic(7, SimTime::from_ns(5), SimDuration::from_ns(500), 2);
+        assert_eq!(r.id, RequestId(7));
+        assert_eq!(r.kind, RequestKind::Generic);
+        assert_eq!(r.size_bytes, 300);
+        assert_eq!(r.conn, ConnectionId(2));
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(RequestKind::Get.label(), "get");
+        assert_eq!(RequestKind::Scan.label(), "scan");
+        assert_eq!(RequestKind::default(), RequestKind::Generic);
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(RequestId(1) < RequestId(2));
+        assert_eq!(RequestId(3).to_string(), "req#3");
+    }
+}

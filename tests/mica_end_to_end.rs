@@ -1,0 +1,75 @@
+//! End-to-end MICA integration: the functional store, the workload
+//! generator and the scheduling simulation agree with each other.
+
+use altocumulus::{AcConfig, Altocumulus};
+use mica::store::Mica;
+use mica::workload::{execute_against_store, KvsWorkload};
+use schedulers::common::RpcSystem;
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use workload::request::RequestKind;
+
+fn small_kvs() -> KvsWorkload {
+    KvsWorkload {
+        keys: 5_000,
+        ..KvsWorkload::default()
+    }
+}
+
+#[test]
+fn populated_store_serves_trace() {
+    let kvs = small_kvs();
+    let mut store = Mica::new(4, 2048, 16 << 20);
+    kvs.populate(&mut store, 1);
+    assert_eq!(store.len(), 5_000);
+    let trace = kvs.trace(workload::PoissonProcess::new(1e6), 20_000, 2);
+    let (hits, misses) = execute_against_store(&kvs, &mut store, &trace, 3);
+    assert_eq!(misses, 0);
+    assert!(hits > 8_000, "roughly half the ops are GETs: {hits}");
+}
+
+#[test]
+fn trace_service_times_match_request_kinds() {
+    let kvs = small_kvs();
+    let trace = kvs.trace(workload::PoissonProcess::new(1e6), 10_000, 4);
+    for r in &trace {
+        match r.kind {
+            RequestKind::Scan => assert!(r.service > kvs.service.get_time(kvs.value_bytes) * 10),
+            RequestKind::Get => assert_eq!(r.service, kvs.service.get_time(kvs.value_bytes)),
+            RequestKind::Set => assert_eq!(r.service, kvs.service.set_time(kvs.value_bytes)),
+            RequestKind::Generic => unreachable!("KVS traces have no generic requests"),
+        }
+    }
+}
+
+#[test]
+fn clustered_kvs_traffic_favors_migration() {
+    // Under desynchronized per-cluster bursts, Altocumulus should not lose
+    // to domain-limited Nebula on SLO violations.
+    let kvs = KvsWorkload {
+        keys: 5_000,
+        ..KvsWorkload::default()
+    };
+    let mean = kvs.mean_service();
+    let rate = 0.6 * 64.0 / mean.as_secs_f64();
+    let trace = kvs.trace_clustered(rate, 8, 60_000, 5);
+    let slo = simcore::time::SimDuration::from_ns_f64(mean.as_ns_f64() * 10.0);
+
+    let nebula = Jbsq::new(JbsqVariant::Nebula, 64).run(&trace);
+    let ac = Altocumulus::new(AcConfig::ac_int(4, 16, mean)).run(&trace);
+    assert!(
+        ac.violation_ratio(slo) <= nebula.violation_ratio(slo) + 0.002,
+        "AC {} should not lose to Nebula {}",
+        ac.violation_ratio(slo),
+        nebula.violation_ratio(slo)
+    );
+}
+
+#[test]
+fn kvs_mean_service_matches_sampled_mean() {
+    let kvs = small_kvs();
+    let trace = kvs.trace(workload::PoissonProcess::new(1e6), 100_000, 6);
+    let sampled = trace.mean_service().as_ns_f64();
+    let analytic = kvs.mean_service().as_ns_f64();
+    let rel = (sampled - analytic).abs() / analytic;
+    assert!(rel < 0.1, "sampled {sampled} vs analytic {analytic}");
+}
