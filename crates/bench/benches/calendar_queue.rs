@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks comparing the calendar-queue [`EventQueue`]
+//! against the [`BinaryHeapQueue`] oracle, plus histogram record/quantile —
+//! the primitives the calendar-queue PR is meant to speed up.
+//!
+//! Two access patterns matter:
+//!
+//! - `churn`: a sliding-window workload shaped like a real simulation run
+//!   (every pop schedules a follow-up a bounded distance in the future) —
+//!   the case the calendar queue is designed for.
+//! - `bulk`: push N then drain N, the classic heap-friendly pattern.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcore::event::{BinaryHeapQueue, EventQueue};
+use simcore::metrics::LatencyHistogram;
+use simcore::time::{SimDuration, SimTime};
+
+const BULK: usize = 10_000;
+const CHURN_LIVE: usize = 4_096;
+const CHURN_OPS: usize = 100_000;
+
+fn bulk_times() -> Vec<SimTime> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..BULK)
+        .map(|_| SimTime::from_ns(rng.random_range(0..1_000_000)))
+        .collect()
+}
+
+/// Hold `CHURN_LIVE` events live; each pop pushes a successor `max_step_ns`
+/// ahead at most, like service-completion events do. Real runs cluster
+/// follow-ups within a few service times (~1-2 µs); `66_000` stretches them
+/// across a full calendar window.
+fn churn_steps(seed: u64, max_step_ns: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..CHURN_OPS)
+        .map(|_| rng.random_range(1..max_step_ns))
+        .collect()
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let times = bulk_times();
+    let mut g = c.benchmark_group("queue_bulk_10k");
+    g.bench_function("calendar", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        });
+    });
+    g.bench_function("binary_heap", |b| {
+        b.iter(|| {
+            let mut q = BinaryHeapQueue::with_capacity(BULK);
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn churn_calendar(steps: &[u64]) -> usize {
+    let mut q = EventQueue::new();
+    for i in 0..CHURN_LIVE {
+        q.push(SimTime::from_ns(i as u64), i);
+    }
+    let mut sum = 0usize;
+    for &step in steps {
+        let (t, e) = q.pop().expect("queue stays populated");
+        sum += e;
+        q.push(t + SimDuration::from_ns(step), e);
+    }
+    sum
+}
+
+fn churn_heap(steps: &[u64]) -> usize {
+    let mut q = BinaryHeapQueue::with_capacity(CHURN_LIVE);
+    for i in 0..CHURN_LIVE {
+        q.push(SimTime::from_ns(i as u64), i);
+    }
+    let mut sum = 0usize;
+    for &step in steps {
+        let (t, e) = q.pop().expect("queue stays populated");
+        sum += e;
+        q.push(t + SimDuration::from_ns(step), e);
+    }
+    sum
+}
+
+fn bench_churn(c: &mut Criterion) {
+    for (label, max_step) in [("tight_2us", 2_000u64), ("wide_66us", 66_000)] {
+        let steps = churn_steps(12, max_step);
+        let mut g = c.benchmark_group(&format!("queue_churn_100k_{label}"));
+        g.bench_function("calendar", |b| b.iter(|| black_box(churn_calendar(&steps))));
+        g.bench_function("binary_heap", |b| b.iter(|| black_box(churn_heap(&steps))));
+        g.finish();
+    }
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let samples: Vec<SimDuration> = (0..100_000)
+        .map(|_| SimDuration::from_ns(rng.random_range(1..10_000_000)))
+        .collect();
+    c.bench_function("histogram/record_100k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            black_box(h.count())
+        });
+    });
+    let mut h = LatencyHistogram::new();
+    for &s in &samples {
+        h.record(s);
+    }
+    c.bench_function("histogram/quantile_sweep", |b| {
+        b.iter(|| {
+            let mut acc = SimDuration::ZERO;
+            for i in 1..=99 {
+                acc += h.quantile(i as f64 / 100.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_churn, bench_bulk, bench_histogram);
+criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! leans on: the event queue, latency histogram, Erlang-C evaluation,
 //! pattern classification/planning and the bounded hardware structures.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use altocumulus::hw::fifo::BoundedFifo;
 use altocumulus::runtime::patterns::{classify, plan_migrations};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use queueing::erlang::{erlang_c, expected_queue_len};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

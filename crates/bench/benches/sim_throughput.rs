@@ -2,8 +2,8 @@
 //! RPCs per second of wall-clock the engine sustains for a representative
 //! Altocumulus configuration and a baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use altocumulus::{AcConfig, Altocumulus};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use schedulers::common::RpcSystem;
 use schedulers::jbsq::{Jbsq, JbsqVariant};
 use simcore::time::SimDuration;

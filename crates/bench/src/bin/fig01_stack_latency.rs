@@ -28,11 +28,7 @@ fn main() {
             "kernel scheduler",
         ),
         (StackModel::erpc(), mem.steal_cost(3), "s/w work stealing"),
-        (
-            StackModel::nano_rpc(),
-            SimDuration::from_ns(15),
-            "h/w JBSQ",
-        ),
+        (StackModel::nano_rpc(), SimDuration::from_ns(15), "h/w JBSQ"),
     ];
 
     let mut t = Table::new(&[
@@ -51,10 +47,7 @@ fn main() {
             &processing.to_string(),
             &sched.to_string(),
             &total.to_string(),
-            &format!(
-                "{:.1}%",
-                sched.as_ns_f64() / total.as_ns_f64() * 100.0
-            ),
+            &format!("{:.1}%", sched.as_ns_f64() / total.as_ns_f64() * 100.0),
             label,
         ]);
     }

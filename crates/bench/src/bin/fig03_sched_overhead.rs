@@ -26,25 +26,24 @@ fn main() {
     let slo = SimDuration::from_us(5);
     let requests = 300_000;
 
-    println!(
-        "Fig. 3: p99 (us) vs load, 64 cores, 1us mean service, overhead added per request\n"
-    );
+    println!("Fig. 3: p99 (us) vs load, 64 cores, 1us mean service, overhead added per request\n");
 
-    // One sweep per overhead level, in parallel.
-    let jobs: Vec<u64> = overheads_ns.to_vec();
-    let series = parallel_map(jobs, overheads_ns.len(), |oh| {
-        loads
-            .iter()
-            .map(|&load| {
-                let trace = poisson_trace(dist, load, cores, requests, 256, 90);
-                let mut sys = CentralQueue::new(CentralQueueConfig {
-                    cores,
-                    sched_overhead: SimDuration::from_ns(oh),
-                });
-                sys.run(&trace).p99()
-            })
-            .collect::<Vec<_>>()
+    // One job per (overhead, load) cell: finer grain than one job per
+    // overhead, so the deterministic executor can balance the expensive
+    // high-load simulations across workers.
+    let jobs: Vec<(u64, f64)> = overheads_ns
+        .iter()
+        .flat_map(|&oh| loads.iter().map(move |&load| (oh, load)))
+        .collect();
+    let cells = parallel_map(jobs, bench::sweep_threads(), |(oh, load)| {
+        let trace = poisson_trace(dist, load, cores, requests, 256, 90);
+        let mut sys = CentralQueue::new(CentralQueueConfig {
+            cores,
+            sched_overhead: SimDuration::from_ns(oh),
+        });
+        sys.run(&trace).p99()
     });
+    let series: Vec<&[SimDuration]> = cells.chunks(loads.len()).collect();
 
     let mut header: Vec<String> = vec!["load".into()];
     header.extend(overheads_ns.iter().map(|o| format!("p99us@{o}ns")));
@@ -59,11 +58,11 @@ fn main() {
     }
     t.print();
 
-    // Throughput@SLO per overhead (the ~3x headline).
+    // Throughput@SLO per overhead (the ~3x headline). Each bisection is
+    // serial in itself, so fan the independent searches out instead.
     println!("\nmax load with p99 <= 5us:");
-    let mut t2 = Table::new(&["overhead_ns", "load@SLO"]);
-    for &oh in &overheads_ns {
-        let best = throughput_at_slo(
+    let bests = parallel_map(overheads_ns.to_vec(), bench::sweep_threads(), |oh| {
+        throughput_at_slo(
             |load| {
                 let trace = poisson_trace(dist, load, cores, requests, 256, 90);
                 let mut sys = CentralQueue::new(CentralQueueConfig {
@@ -76,7 +75,10 @@ fn main() {
             0.05,
             0.99,
             0.01,
-        );
+        )
+    });
+    let mut t2 = Table::new(&["overhead_ns", "load@SLO"]);
+    for (&oh, best) in overheads_ns.iter().zip(&bests) {
         t2.row(&[
             &oh.to_string(),
             &best.map_or("-".to_string(), |b| format!("{b:.2}")),

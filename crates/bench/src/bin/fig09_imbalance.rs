@@ -16,9 +16,9 @@ use simcore::event::{run, EventQueue, World};
 use simcore::report::Table;
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::trace::Trace;
 use workload::ServiceDistribution;
-use std::collections::VecDeque;
 
 const GROUPS: usize = 4;
 const WORKERS: usize = 64;
@@ -109,7 +109,14 @@ fn main() {
         trace.offered_load(GROUPS * WORKERS)
     );
 
-    let mut t = Table::new(&["policy", "RX Q0", "RX Q1", "RX Q2", "RX Q3", "spread(max-min)"]);
+    let mut t = Table::new(&[
+        "policy",
+        "RX Q0",
+        "RX Q1",
+        "RX Q2",
+        "RX Q3",
+        "spread(max-min)",
+    ]);
     for steering in [Steering::rss(), Steering::random(), Steering::round_robin()] {
         let label = steering.label();
         let snaps = run_policy(&trace, steering, slo);

@@ -13,13 +13,13 @@
 
 use altocumulus::{AcConfig, Altocumulus};
 use bench::{parallel_map, point_from, poisson_trace};
+use rpcstack::stack::StackModel;
 use schedulers::central::{CentralConfig, CentralDispatch};
 use schedulers::common::RpcSystem;
 use schedulers::dfcfs::{DFcfs, DFcfsConfig};
 use schedulers::jbsq::{Jbsq, JbsqVariant};
 use schedulers::stealing::{StealingConfig, WorkStealing};
 use simcore::report::Table;
-use rpcstack::stack::StackModel;
 use simcore::time::SimDuration;
 use workload::ServiceDistribution;
 
@@ -65,25 +65,34 @@ fn make_system(name: &str) -> Box<dyn RpcSystem> {
 fn main() {
     let dist = ServiceDistribution::bimodal_paper();
     let slo = SimDuration::from_us(300);
-    let systems = ["IX", "ZygOS", "Shinjuku", "RPCValet", "Nebula", "nanoPU", "AC_rss"];
-    let loads = [0.02, 0.05, 0.08, 0.1, 0.13, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let systems = [
+        "IX", "ZygOS", "Shinjuku", "RPCValet", "Nebula", "nanoPU", "AC_rss",
+    ];
+    let loads = [
+        0.02, 0.05, 0.08, 0.1, 0.13, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+    ];
 
-    println!(
-        "Fig. 10: p99 vs throughput, {CORES} cores, {dist}, SLO p99 <= 300us\n"
-    );
+    println!("Fig. 10: p99 vs throughput, {CORES} cores, {dist}, SLO p99 <= 300us\n");
 
-    let all = parallel_map(systems.to_vec(), systems.len(), |name| {
+    // One job per (system, load) cell. Every `RpcSystem::run` reseeds its
+    // RNG streams from config, so a fresh system per cell yields the same
+    // numbers as one system swept across loads — while letting the
+    // deterministic executor balance slow high-load cells across workers.
+    let jobs: Vec<(&str, f64)> = systems
+        .iter()
+        .flat_map(|&name| loads.iter().map(move |&load| (name, load)))
+        .collect();
+    let cells = parallel_map(jobs, bench::sweep_threads(), |(name, load)| {
+        let trace = poisson_trace(dist, load, CORES, REQUESTS, 128, 10);
         let mut sys = make_system(name);
-        let pts: Vec<_> = loads
-            .iter()
-            .map(|&load| {
-                let trace = poisson_trace(dist, load, CORES, REQUESTS, 128, 10);
-                let r = sys.run(&trace);
-                point_from(&r, load, slo)
-            })
-            .collect();
-        (name, pts)
+        let r = sys.run(&trace);
+        point_from(&r, load, slo)
     });
+    let all: Vec<(&str, Vec<bench::MeasuredPoint>)> = systems
+        .iter()
+        .zip(cells.chunks(loads.len()))
+        .map(|(&name, pts)| (name, pts.to_vec()))
+        .collect();
 
     let mut t = Table::new(&["system", "load", "MRPS", "p99_us", "viol%"]);
     for (name, pts) in &all {
@@ -113,7 +122,12 @@ fn main() {
     }
     t2.print();
 
-    let get = |n: &str| best.iter().find(|(b, _)| b == n).map(|(_, v)| *v).unwrap_or(0.0);
+    let get = |n: &str| {
+        best.iter()
+            .find(|(b, _)| b == n)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
     let (zygos, nebula, ac) = (get("ZygOS"), get("Nebula"), get("AC_rss"));
     if zygos > 0.0 && nebula > 0.0 {
         println!(

@@ -42,7 +42,7 @@ fn main() {
 
     // (a) Bulk sweep at period 200ns.
     let bulks = [8usize, 16, 24, 32, 40];
-    let bulk_rows = parallel_map(bulks.to_vec(), bulks.len(), |bulk| {
+    let bulk_rows = parallel_map(bulks.to_vec(), bench::sweep_threads(), |bulk| {
         let mut cfg = AcConfig::ac_int(GROUPS, GROUP_SIZE, dist.mean());
         cfg.bulk = bulk;
         cfg.concurrency = cfg.concurrency.min(bulk);
@@ -64,22 +64,35 @@ fn main() {
     }
     t.print();
 
-    // (b) Period sweep at bulk 16, plus the no-migration baseline.
+    // (b) Period sweep at bulk 16, plus the no-migration baseline; the
+    // baseline rides in the same fan-out (`None` = migration disabled).
     let periods = [10u64, 40, 100, 200, 400, 1000];
-    let period_rows = parallel_map(periods.to_vec(), periods.len(), |p| {
+    let mut period_jobs: Vec<Option<u64>> = vec![None];
+    period_jobs.extend(periods.iter().map(|&p| Some(p)));
+    let mut all_rows = parallel_map(period_jobs, bench::sweep_threads(), |job| {
         let mut cfg = AcConfig::ac_int(GROUPS, GROUP_SIZE, dist.mean());
-        cfg.period = SimDuration::from_ns(p);
+        match job {
+            Some(p) => cfg.period = SimDuration::from_ns(p),
+            None => cfg.migration_enabled = false,
+        }
         let r = Altocumulus::new(cfg).run_detailed(&trace);
-        (p, r)
+        (job, r)
     });
-    let baseline = {
-        let mut cfg = AcConfig::ac_int(GROUPS, GROUP_SIZE, dist.mean());
-        cfg.migration_enabled = false;
-        Altocumulus::new(cfg).run_detailed(&trace)
-    };
+    let baseline = all_rows.remove(0).1;
+    let period_rows: Vec<(u64, _)> = all_rows
+        .into_iter()
+        .map(|(job, r)| (job.expect("baseline was removed"), r))
+        .collect();
 
     println!("\n(b) Period sweep (bulk 16):");
-    let mut t2 = Table::new(&["period_ns", "violations", "viol%", "p99_us", "migrated", "nacked"]);
+    let mut t2 = Table::new(&[
+        "period_ns",
+        "violations",
+        "viol%",
+        "p99_us",
+        "migrated",
+        "nacked",
+    ]);
     let bl = baseline.system.violation_ratio(slo);
     t2.row(&[
         "no-migration",

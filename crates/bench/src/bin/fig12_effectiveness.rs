@@ -33,7 +33,12 @@ fn main() {
     // §VIII-B point that an ACrss manager caps out around 28 MRPS.
     println!("(a) group-size exploration, 64 cores, bursty flows:");
     let shapes: Vec<(usize, usize)> = vec![(16, 4), (8, 8), (4, 16), (2, 32)];
-    let mut t = Table::new(&["layout (groups x size)", "attach", "MRPS@SLO", "p99 there (us)"]);
+    let mut t = Table::new(&[
+        "layout (groups x size)",
+        "attach",
+        "MRPS@SLO",
+        "p99 there (us)",
+    ]);
     for attach in [Attachment::Integrated, Attachment::RssPcie] {
         let rows = parallel_map(shapes.clone(), shapes.len(), |(g, s)| {
             let mk = |g: usize, s: usize| {

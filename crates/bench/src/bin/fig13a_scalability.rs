@@ -61,10 +61,7 @@ fn opt(cores: usize) -> AcConfig {
 }
 
 /// Highest measured MRPS with p99 <= SLO over a load grid.
-fn tput_at_slo(
-    mut run_at: impl FnMut(f64) -> (f64, SimDuration),
-    slo: SimDuration,
-) -> (f64, f64) {
+fn tput_at_slo(mut run_at: impl FnMut(f64) -> (f64, SimDuration), slo: SimDuration) -> (f64, f64) {
     let mut best = (0.0, 0.0); // (mrps, load)
     for load in [0.1, 0.2, 0.3, 0.5, 0.65, 0.8, 0.85, 0.9, 0.95] {
         let (mrps, p99) = run_at(load);
@@ -86,25 +83,41 @@ fn main() {
             "(1) Poisson, fixed 850ns service"
         };
         println!("--- {title} ---");
-        let rows = parallel_map(core_counts.to_vec(), core_counts.len(), |cores| {
-            let run_sys = |sys: &mut dyn RpcSystem, load: f64| {
-                let t = trace_for(cores, load, real_world, 51);
-                let r = sys.run(&t);
-                (r.throughput_rps() / 1e6, r.p99())
+        // One job per (cores, system): the 256-core sweeps dominate, so
+        // splitting by system (not just by core count) lets the executor
+        // overlap them instead of serializing behind one giant job.
+        const SYSTEMS: usize = 4;
+        let jobs: Vec<(usize, usize)> = core_counts
+            .iter()
+            .flat_map(|&cores| (0..SYSTEMS).map(move |s| (cores, s)))
+            .collect();
+        let cells = parallel_map(jobs, bench::sweep_threads(), |(cores, s)| {
+            let mut sys: Box<dyn RpcSystem> = match s {
+                0 => Box::new(DFcfs::new(DFcfsConfig::rss(cores))),
+                1 => Box::new(Jbsq::new(JbsqVariant::Nebula, cores)),
+                2 => Box::new(Altocumulus::new(subopt(cores))),
+                _ => Box::new(Altocumulus::new(opt(cores))),
             };
-            let mut rss = DFcfs::new(DFcfsConfig::rss(cores));
-            let (rss_mrps, _) = tput_at_slo(|l| run_sys(&mut rss, l), slo);
-            let mut nebula = Jbsq::new(JbsqVariant::Nebula, cores);
-            let (neb_mrps, _) = tput_at_slo(|l| run_sys(&mut nebula, l), slo);
-            let mut ac_sub = Altocumulus::new(subopt(cores));
-            let (sub_mrps, _) = tput_at_slo(|l| run_sys(&mut ac_sub, l), slo);
-            let mut ac_opt = Altocumulus::new(opt(cores));
-            let (opt_mrps, opt_load) = tput_at_slo(|l| run_sys(&mut ac_opt, l), slo);
+            tput_at_slo(
+                |load| {
+                    let t = trace_for(cores, load, real_world, 51);
+                    let r = sys.run(&t);
+                    (r.throughput_rps() / 1e6, r.p99())
+                },
+                slo,
+            )
+        });
 
-            // Prediction accuracy of AC_int_opt at its operating point,
-            // measured on a predict-only run (predictions on the
-            // unperturbed trajectory, the paper's metric).
-            let acc = if opt_load > 0.0 {
+        // Prediction accuracy of AC_int_opt at its operating point,
+        // measured on a predict-only run (predictions on the unperturbed
+        // trajectory, the paper's metric). One independent job per count.
+        let acc_jobs: Vec<(usize, f64)> = core_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &cores)| (cores, cells[i * SYSTEMS + 3].1))
+            .collect();
+        let accs = parallel_map(acc_jobs, bench::sweep_threads(), |(cores, opt_load)| {
+            if opt_load > 0.0 {
                 let t = trace_for(cores, opt_load, real_world, 51);
                 let mut po = opt(cores);
                 po.predict_only = true;
@@ -112,9 +125,17 @@ fn main() {
                 prediction_accuracy(&run.system, &run.stats.predicted, t.len(), slo)
             } else {
                 f64::NAN
-            };
-            (cores, rss_mrps, neb_mrps, sub_mrps, opt_mrps, acc)
+            }
         });
+
+        let rows: Vec<(usize, f64, f64, f64, f64, f64)> = core_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &cores)| {
+                let row = &cells[i * SYSTEMS..(i + 1) * SYSTEMS];
+                (cores, row[0].0, row[1].0, row[2].0, row[3].0, accs[i])
+            })
+            .collect();
 
         let mut t = Table::new(&[
             "cores",

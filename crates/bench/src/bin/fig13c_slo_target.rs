@@ -13,37 +13,57 @@
 use altocumulus::accounting::prediction_accuracy;
 use altocumulus::{AcConfig, Altocumulus, Attachment};
 use bench::poisson_trace;
-use workload::realworld::clustered_bursty;
 use queueing::ThresholdModel;
 use simcore::report::Table;
 use simcore::time::SimDuration;
+use workload::realworld::clustered_bursty;
 use workload::ServiceDistribution;
 
 const CORES: usize = 256;
 const REQUESTS: usize = 300_000;
 
-/// The RSS++-style baseline: RSS that re-balances its request-to-core
-/// mapping only every 20 µs (paper §IX-E). Modeled as the fraction of
-/// baseline violations it saves relative to plain RSS — computed from an
-/// Altocumulus twin restricted to a 20 µs period and whole-queue rebalance.
-fn rss_plus_saved_ratio(trace: &workload::Trace, slo: SimDuration, mean: SimDuration) -> f64 {
-    let mut base_cfg = AcConfig::ac_int(16, 16, mean);
-    base_cfg.migration_enabled = false;
-    let base = Altocumulus::new(base_cfg).run_detailed(trace);
+/// No-migration baseline (plain RSS), against which RSS++ saves are counted.
+fn base_config(mean: SimDuration) -> AcConfig {
+    let mut cfg = AcConfig::ac_int(16, 16, mean);
+    cfg.migration_enabled = false;
+    cfg
+}
 
+/// The RSS++-style baseline: RSS that re-balances its request-to-core
+/// mapping only every 20 µs (paper §IX-E) — an Altocumulus twin restricted
+/// to a 20 µs period and whole-queue rebalance.
+fn rss_plus_config(mean: SimDuration) -> AcConfig {
     let mut cfg = AcConfig::ac_int(16, 16, mean);
     cfg.period = SimDuration::from_us(20);
     cfg.bulk = 40;
     cfg.concurrency = 16;
     cfg.threshold = altocumulus::ThresholdPolicy::Model(ThresholdModel::identity());
-    let rebal = Altocumulus::new(cfg).run_detailed(trace);
+    cfg
+}
 
-    let (saved, _harmed) = altocumulus::accounting::fate_changes(
-        &base.system,
-        &rebal.system,
-        trace.len(),
-        slo,
-    );
+/// Predict-only AC run: accuracy of the model on the unperturbed trajectory.
+fn predict_config(attach: Attachment, mean: SimDuration) -> AcConfig {
+    let mut cfg = match attach {
+        Attachment::Integrated => AcConfig::ac_int(16, 16, mean),
+        Attachment::RssPcie => AcConfig::ac_rss(16, 16, mean),
+    };
+    cfg.period = SimDuration::from_ns(100);
+    cfg.bulk = 32;
+    cfg.concurrency = 16;
+    cfg.threshold = altocumulus::ThresholdPolicy::Model(ThresholdModel::identity());
+    cfg.predict_only = true;
+    cfg
+}
+
+/// Fraction of plain-RSS violations the RSS++ twin saves at `slo`.
+fn rss_plus_saved_ratio(
+    base: &altocumulus::AcResult,
+    rebal: &altocumulus::AcResult,
+    trace_len: usize,
+    slo: SimDuration,
+) -> f64 {
+    let (saved, _harmed) =
+        altocumulus::accounting::fate_changes(&base.system, &rebal.system, trace_len, slo);
     let base_viol = base
         .system
         .completions
@@ -57,21 +77,6 @@ fn rss_plus_saved_ratio(trace: &workload::Trace, slo: SimDuration, mean: SimDura
     }
 }
 
-fn ac_accuracy(trace: &workload::Trace, slo: SimDuration, attach: Attachment, mean: SimDuration) -> f64 {
-    let mut cfg = match attach {
-        Attachment::Integrated => AcConfig::ac_int(16, 16, mean),
-        Attachment::RssPcie => AcConfig::ac_rss(16, 16, mean),
-    };
-    cfg.period = SimDuration::from_ns(100);
-    cfg.bulk = 32;
-    cfg.concurrency = 16;
-    cfg.threshold = altocumulus::ThresholdPolicy::Model(ThresholdModel::identity());
-    // Predict-only: accuracy of the model on the unperturbed trajectory.
-    cfg.predict_only = true;
-    let run = Altocumulus::new(cfg).run_detailed(trace);
-    prediction_accuracy(&run.system, &run.stats.predicted, trace.len(), slo)
-}
-
 fn main() {
     let mean = SimDuration::from_ns(850);
     let dist = ServiceDistribution::Fixed(mean);
@@ -83,12 +88,27 @@ fn main() {
         trace.offered_load(CORES)
     );
 
+    // None of the four simulations depends on the SLO target — only the
+    // post-processing does. Run each once (fanned out on the deterministic
+    // executor) and score all three SLO rows from the same completions,
+    // instead of re-simulating per row.
+    let configs = vec![
+        base_config(mean),
+        rss_plus_config(mean),
+        predict_config(Attachment::RssPcie, mean),
+        predict_config(Attachment::Integrated, mean),
+    ];
+    let runs = bench::parallel_map(configs, bench::sweep_threads(), |cfg| {
+        Altocumulus::new(cfg).run_detailed(&trace)
+    });
+    let (base, rebal, rss_po, int_po) = (&runs[0], &runs[1], &runs[2], &runs[3]);
+
     let mut t = Table::new(&["SLO", "RSS(++20us)", "AC_rss_opt", "AC_int_opt"]);
     for (label, mult) in [("5A", 5.0), ("10A", 10.0), ("20A", 20.0)] {
         let slo = SimDuration::from_ns_f64(mean.as_ns_f64() * mult);
-        let rss = rss_plus_saved_ratio(&trace, slo, mean);
-        let ac_rss = ac_accuracy(&trace, slo, Attachment::RssPcie, mean);
-        let ac_int = ac_accuracy(&trace, slo, Attachment::Integrated, mean);
+        let rss = rss_plus_saved_ratio(base, rebal, trace.len(), slo);
+        let ac_rss = prediction_accuracy(&rss_po.system, &rss_po.stats.predicted, trace.len(), slo);
+        let ac_int = prediction_accuracy(&int_po.system, &int_po.stats.predicted, trace.len(), slo);
         t.row(&[
             label,
             &format!("{:.1}%", rss * 100.0),

@@ -35,8 +35,7 @@ fn ac_config(interface: Interface, mean: SimDuration) -> AcConfig {
     // Fig. 8's local policy: workers hold up to 2 requests, so the
     // manager-to-worker transfer is prefetch-hidden at 100ns-scale services.
     cfg.local_bound = 2;
-    cfg.threshold =
-        altocumulus::ThresholdPolicy::Model(queueing::ThresholdModel::identity());
+    cfg.threshold = altocumulus::ThresholdPolicy::Model(queueing::ThresholdModel::identity());
     match interface {
         Interface::Isa => {
             cfg.bulk = 32;
@@ -74,30 +73,34 @@ fn main() {
     }
 
     let systems: Vec<&'static str> = vec!["Nebula", "AC_rss-ISA", "AC_rss-MSR"];
-    let series = parallel_map(systems, 3, |name| {
+    // One job per (system, load) cell — each already builds a fresh trace
+    // and system, so the flattening changes nothing but load balance.
+    let jobs: Vec<(&'static str, f64)> = systems
+        .iter()
+        .flat_map(|&name| loads.iter().map(move |&load| (name, load)))
+        .collect();
+    let cells = parallel_map(jobs, bench::sweep_threads(), |(name, load)| {
         let kvs = KvsWorkload::fig14();
         let mean = kvs.mean_service();
-        let pts = loads
-            .iter()
-            .map(|&load| {
-                let rate = load * CORES as f64 / mean.as_secs_f64();
-                let trace = kvs.trace_clustered(rate, 8, REQUESTS, 81);
-                let mut sys: Box<dyn RpcSystem> = match name {
-                    "Nebula" => Box::new(Jbsq::new(JbsqVariant::Nebula, CORES)),
-                    "AC_rss-ISA" => {
-                        Box::new(Altocumulus::new(ac_config(Interface::Isa, mean)))
-                    }
-                    "AC_rss-MSR" => {
-                        Box::new(Altocumulus::new(ac_config(Interface::Msr, mean)))
-                    }
-                    _ => unreachable!(),
-                };
-                let r = sys.run(&trace);
-                (r.throughput_rps() / 1e6, r.p99(), r.violation_ratio(slo))
-            })
-            .collect();
-        Series { name, pts }
+        let rate = load * CORES as f64 / mean.as_secs_f64();
+        let trace = kvs.trace_clustered(rate, 8, REQUESTS, 81);
+        let mut sys: Box<dyn RpcSystem> = match name {
+            "Nebula" => Box::new(Jbsq::new(JbsqVariant::Nebula, CORES)),
+            "AC_rss-ISA" => Box::new(Altocumulus::new(ac_config(Interface::Isa, mean))),
+            "AC_rss-MSR" => Box::new(Altocumulus::new(ac_config(Interface::Msr, mean))),
+            _ => unreachable!(),
+        };
+        let r = sys.run(&trace);
+        (r.throughput_rps() / 1e6, r.p99(), r.violation_ratio(slo))
     });
+    let series: Vec<Series> = systems
+        .iter()
+        .zip(cells.chunks(loads.len()))
+        .map(|(&name, pts)| Series {
+            name,
+            pts: pts.to_vec(),
+        })
+        .collect();
 
     let mut t = Table::new(&["system", "MRPS", "p99_us", "viol%"]);
     for s in &series {
@@ -126,7 +129,12 @@ fn main() {
         t2.row(&[s.name, &format!("{mrps:.0}")]);
     }
     t2.print();
-    let get = |n: &str| best.iter().find(|(b, _)| *b == n).map(|(_, v)| *v).unwrap_or(0.0);
+    let get = |n: &str| {
+        best.iter()
+            .find(|(b, _)| *b == n)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
     let (neb, isa, msr) = (get("Nebula"), get("AC_rss-ISA"), get("AC_rss-MSR"));
     if neb > 0.0 && isa > 0.0 {
         println!(

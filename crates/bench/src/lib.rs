@@ -15,49 +15,23 @@ use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
 
 /// Runs `f` over `items` on up to `threads` OS threads, preserving order.
 ///
-/// The sweeps are embarrassingly parallel (one simulation per load point);
-/// scoped threads keep the code dependency-free.
+/// The sweeps are embarrassingly parallel (one simulation per load point).
+/// Delegates to [`simcore::parallel_map`], whose shared job list balances
+/// uneven load points across workers while keeping results in input order —
+/// identical output for any thread count.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    assert!(threads > 0, "need at least one thread");
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut batches: Vec<Vec<(usize, T)>> = Vec::new();
-    let mut it = items.into_iter().enumerate();
-    loop {
-        let batch: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
-        if batch.is_empty() {
-            break;
-        }
-        batches.push(batch);
-    }
-    let mut out: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|batch| {
-                let f = &f;
-                scope.spawn(move || {
-                    batch
-                        .into_iter()
-                        .map(|(i, item)| (i, f(item)))
-                        .collect::<Vec<(usize, R)>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    simcore::parallel_map(items, threads, |_, item| f(item))
+}
+
+/// Worker-thread count for sweeps: the `SWEEP_THREADS` environment variable
+/// if set, otherwise the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    simcore::default_threads()
 }
 
 /// Builds a Poisson trace for `dist` at `load` on `cores` cores.
@@ -143,19 +117,26 @@ pub fn point_from(r: &SystemResult, load: f64, slo: SimDuration) -> MeasuredPoin
 
 /// Finds throughput@SLO in MRPS: the achieved throughput at the highest
 /// load whose p99 meets `slo`.
+///
+/// The underlying [`schedulers::sweep::throughput_at_slo_search`] memoizes
+/// evaluated loads, so `run_at` is called exactly once per probed load.
 pub fn throughput_at_slo_mrps<F>(mut run_at: F, slo: SimDuration) -> Option<f64>
 where
     F: FnMut(f64) -> (SimDuration, f64),
 {
-    let mut p99_cache = std::collections::HashMap::new();
-    let mut eval = |load: f64| {
-        let key = (load * 10_000.0).round() as u64;
-        let entry = p99_cache.entry(key).or_insert_with(|| run_at(load));
-        entry.0
-    };
-    let best = schedulers::sweep::throughput_at_slo(&mut eval, slo, 0.05, 0.99, 0.02)?;
-    let key = (best * 10_000.0).round() as u64;
-    Some(p99_cache[&key].1)
+    let mut mrps_by_load = std::collections::HashMap::new();
+    let search = schedulers::sweep::throughput_at_slo_search(
+        |load| {
+            let (p99, mrps) = run_at(load);
+            mrps_by_load.insert(load.to_bits(), mrps);
+            p99
+        },
+        slo,
+        0.05,
+        0.99,
+        0.02,
+    );
+    search.best.map(|best| mrps_by_load[&best.to_bits()])
 }
 
 #[cfg(test)]

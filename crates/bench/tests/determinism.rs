@@ -1,0 +1,62 @@
+//! Fixed-seed determinism regressions: a sweep must produce bit-identical
+//! results no matter how many worker threads execute it, and the calendar
+//! event queue must not perturb any simulated numbers.
+
+use altocumulus::{AcConfig, Altocumulus};
+use bench::{parallel_map, poisson_trace};
+use schedulers::common::RpcSystem;
+use schedulers::jbsq::{Jbsq, JbsqVariant};
+use schedulers::stealing::{StealingConfig, WorkStealing};
+use simcore::time::SimDuration;
+use workload::ServiceDistribution;
+
+const CORES: usize = 16;
+const REQUESTS: usize = 20_000;
+
+/// A fig10-style mini sweep: three systems (including the work-stealing one,
+/// whose victim selection consumes scheduler RNG) across three loads, one
+/// job per (system, load) cell. Returns exact picosecond p99s and
+/// completion counts so any nondeterminism shows up bit-for-bit.
+fn sweep(threads: usize) -> Vec<(u64, usize)> {
+    let dist = ServiceDistribution::Exponential {
+        mean: SimDuration::from_us(1),
+    };
+    let loads = [0.5, 0.7, 0.9];
+    let jobs: Vec<(usize, f64)> = (0..3)
+        .flat_map(|s| loads.iter().map(move |&l| (s, l)))
+        .collect();
+    parallel_map(jobs, threads, |(s, load)| {
+        let trace = poisson_trace(dist, load, CORES, REQUESTS, 64, 33);
+        let mut sys: Box<dyn RpcSystem> = match s {
+            0 => Box::new(Jbsq::new(JbsqVariant::Nebula, CORES)),
+            1 => Box::new(WorkStealing::new(StealingConfig::zygos(CORES))),
+            _ => Box::new(Altocumulus::new(AcConfig::ac_rss(1, CORES, dist.mean()))),
+        };
+        let r = sys.run(&trace);
+        (r.p99().as_ps(), r.completions.len())
+    })
+}
+
+#[test]
+fn sweep_identical_across_thread_counts() {
+    let one = sweep(1);
+    assert_eq!(one.len(), 9);
+    for threads in [2, 4, 8] {
+        assert_eq!(one, sweep(threads), "results diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn seeded_map_thread_invariant_over_simulations() {
+    let run = |threads| {
+        simcore::seeded_map(7, vec![0.6f64, 0.8, 0.9], threads, |_, load, _rng| {
+            let dist = ServiceDistribution::Fixed(SimDuration::from_us(1));
+            let trace = poisson_trace(dist, load, CORES, REQUESTS, 64, 12);
+            let mut sys = Jbsq::new(JbsqVariant::Nebula, CORES);
+            sys.run(&trace).p99().as_ps()
+        })
+    };
+    let one = run(1);
+    assert_eq!(one, run(3));
+    assert_eq!(one, run(16));
+}

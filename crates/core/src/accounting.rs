@@ -67,8 +67,10 @@ pub fn classify_effectiveness(
     let with = with_migration.latencies_by_request(trace_len);
     let mut out = EffectivenessBreakdown::default();
     for &idx in migrated {
-        let (Some(b), Some(w)) = (base.get(idx).copied().flatten(), with.get(idx).copied().flatten())
-        else {
+        let (Some(b), Some(w)) = (
+            base.get(idx).copied().flatten(),
+            with.get(idx).copied().flatten(),
+        ) else {
             continue;
         };
         let b_viol = b > slo;

@@ -149,7 +149,10 @@ impl AcConfig {
     /// Panics on a structurally impossible configuration.
     pub fn validate(&self) {
         assert!(self.groups >= 1, "need at least one group");
-        assert!(self.group_size >= 2, "a group is one manager plus >=1 worker");
+        assert!(
+            self.group_size >= 2,
+            "a group is one manager plus >=1 worker"
+        );
         assert!(self.bulk >= 1 && self.concurrency >= 1);
         assert!(
             self.concurrency <= self.bulk,
@@ -158,7 +161,10 @@ impl AcConfig {
         assert!(self.local_bound >= 1, "workers need at least one slot");
         assert!(self.dispatch_batch >= 1);
         assert!(!self.period.is_zero(), "period must be positive");
-        assert!(!self.mean_service.is_zero(), "mean service must be positive");
+        assert!(
+            !self.mean_service.is_zero(),
+            "mean service must be positive"
+        );
         if let Some(t) = &self.tenancy {
             assert_eq!(
                 t.groups(),

@@ -122,8 +122,22 @@ mod tests {
 
     #[test]
     fn control_messages_are_header_only() {
-        assert_eq!(Message::Update { src: 0, queue_len: 9 }.wire_bytes(), 16);
-        assert_eq!(Message::Ack { src: 0, accepted: 8 }.wire_bytes(), 16);
+        assert_eq!(
+            Message::Update {
+                src: 0,
+                queue_len: 9
+            }
+            .wire_bytes(),
+            16
+        );
+        assert_eq!(
+            Message::Ack {
+                src: 0,
+                accepted: 8
+            }
+            .wire_bytes(),
+            16
+        );
         assert_eq!(
             Message::Nack {
                 src: 0,
@@ -136,9 +150,21 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(Message::Update { src: 0, queue_len: 0 }.label(), "UPDATE");
         assert_eq!(
-            Message::Migrate { src: 0, dst: 1, descriptors: vec![] }.label(),
+            Message::Update {
+                src: 0,
+                queue_len: 0
+            }
+            .label(),
+            "UPDATE"
+        );
+        assert_eq!(
+            Message::Migrate {
+                src: 0,
+                dst: 1,
+                descriptors: vec![]
+            }
+            .label(),
             "MIGRATE"
         );
     }

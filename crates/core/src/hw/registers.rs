@@ -116,12 +116,7 @@ impl ParameterRegisters {
     ///
     /// Panics on zero bulk/concurrency or `concurrency > bulk` (each MIGRATE
     /// must carry at least one descriptor).
-    pub fn new(
-        n_managers: usize,
-        period: SimDuration,
-        bulk: usize,
-        concurrency: usize,
-    ) -> Self {
+    pub fn new(n_managers: usize, period: SimDuration, bulk: usize, concurrency: usize) -> Self {
         assert!(bulk > 0, "bulk must be positive");
         assert!(concurrency > 0, "concurrency must be positive");
         assert!(

@@ -60,5 +60,5 @@ pub use accounting::{classify_effectiveness, prediction_accuracy, EffectivenessB
 pub use config::{AcConfig, Attachment};
 pub use hw::interface::Interface;
 pub use runtime::predictor::ThresholdPolicy;
-pub use tenancy::Tenancy;
 pub use system::{AcResult, Altocumulus, MigrationStats};
+pub use tenancy::Tenancy;

@@ -60,7 +60,10 @@ impl LoadEstimator {
     ///
     /// Panics if `mean_service` is zero or `alpha` outside `(0, 1]`.
     pub fn new(mean_service: SimDuration, alpha: f64) -> Self {
-        assert!(!mean_service.is_zero(), "mean service time must be positive");
+        assert!(
+            !mean_service.is_zero(),
+            "mean service time must be positive"
+        );
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
         LoadEstimator {
             mean_service,

@@ -19,9 +19,9 @@ use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run, EventQueue, World};
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::{HashSet, VecDeque};
 use workload::request::Completion;
 use workload::trace::Trace;
-use std::collections::{HashSet, VecDeque};
 
 /// Counters describing the migration machinery's behaviour during a run.
 #[derive(Debug, Clone, Default)]
@@ -291,7 +291,14 @@ impl AcWorld<'_> {
         }
     }
 
-    fn start_worker(&mut self, g: usize, w: usize, qr: QueuedRequest, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn start_worker(
+        &mut self,
+        g: usize,
+        w: usize,
+        qr: QueuedRequest,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
         debug_assert!(self.groups[g].running[w].is_none());
         self.groups[g].running[w] = Some(qr);
         q.push(now + qr.remaining, Ev::WorkerDone(g, w));
@@ -360,7 +367,9 @@ impl AcWorld<'_> {
                 src: g,
                 queue_len: q_view[g],
             };
-            let lat = self.noc.latency(src_tile, self.mgr_tile(dst), msg.wire_bytes());
+            let lat = self
+                .noc
+                .latency(src_tile, self.mgr_tile(dst), msg.wire_bytes());
             // Consecutive injections serialize at the port (~3ns each).
             let stagger = SimDuration::from_ns(3) * i as u64;
             q.push(send_time + lat + stagger, Ev::Msg(dst, msg));
@@ -421,7 +430,9 @@ impl AcWorld<'_> {
                 dst: order.dst,
                 descriptors,
             };
-            let lat = self.noc.latency(src_tile, self.mgr_tile(order.dst), msg.wire_bytes());
+            let lat = self
+                .noc
+                .latency(src_tile, self.mgr_tile(order.dst), msg.wire_bytes());
             let stagger = SimDuration::from_ns(3) * i as u64;
             self.groups[g].send_inflight += 1;
             self.stats.migrate_messages += 1;
@@ -482,15 +493,11 @@ impl AcWorld<'_> {
                 self.stats.migrated_requests += descriptors.len() as u64;
                 let accepted = descriptors.len();
                 for d in descriptors {
-                    let mut qr =
-                        QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
+                    let mut qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
                     qr.migrated = true;
                     self.groups[dst].netrx.push_back(qr);
                 }
-                let ack = Message::Ack {
-                    src: dst,
-                    accepted,
-                };
+                let ack = Message::Ack { src: dst, accepted };
                 let lat = self.noc.latency(dst_tile, src_tile, ack.wire_bytes());
                 q.push(now + lat, Ev::Msg(src, ack));
                 self.try_dispatch(dst, now, q);
@@ -532,7 +539,9 @@ impl World for AcWorld<'_> {
                 }
             }
             Ev::WorkerDone(g, w) => {
-                let qr = self.groups[g].running[w].take().expect("done on idle worker");
+                let qr = self.groups[g].running[w]
+                    .take()
+                    .expect("done on idle worker");
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
                     id: req.id,
@@ -705,7 +714,10 @@ mod tests {
         let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
         cfg.predict_only = true;
         let r = Altocumulus::new(cfg).run_detailed(&t);
-        assert!(!r.stats.predicted.is_empty(), "imbalance must trigger predictions");
+        assert!(
+            !r.stats.predicted.is_empty(),
+            "imbalance must trigger predictions"
+        );
         assert_eq!(r.stats.migrate_messages, 0);
         assert_eq!(r.stats.migrated_requests, 0);
         assert!(r.system.completions.iter().all(|c| !c.migrated));

@@ -25,20 +25,32 @@ struct SysCase {
 
 fn case_strategy() -> impl Strategy<Value = SysCase> {
     (
-        1usize..5,                 // groups
-        2usize..9,                 // group_size
+        1usize..5, // groups
+        2usize..9, // group_size
         prop_oneof![Just(Attachment::Integrated), Just(Attachment::RssPcie)],
         prop_oneof![Just(Interface::Isa), Just(Interface::Msr)],
-        50u64..1000,               // period ns
-        1usize..33,                // bulk
-        1usize..9,                 // concurrency (clamped to bulk below)
-        1usize..3,                 // local bound
-        0.1f64..0.9,               // load
-        1u32..32,                  // connections
-        0u64..1000,                // seed
+        50u64..1000, // period ns
+        1usize..33,  // bulk
+        1usize..9,   // concurrency (clamped to bulk below)
+        1usize..3,   // local bound
+        0.1f64..0.9, // load
+        1u32..32,    // connections
+        0u64..1000,  // seed
     )
         .prop_map(
-            |(groups, group_size, attachment, interface, period_ns, bulk, conc, lb, load, conns, seed)| {
+            |(
+                groups,
+                group_size,
+                attachment,
+                interface,
+                period_ns,
+                bulk,
+                conc,
+                lb,
+                load,
+                conns,
+                seed,
+            )| {
                 SysCase {
                     groups,
                     group_size,

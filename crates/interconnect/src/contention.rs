@@ -163,7 +163,7 @@ mod tests {
     fn contention_fades_with_time() {
         let mut noc = ContendedNoc::new(MeshNoc::new(4, 4));
         noc.send(0, 3, 1024, SimTime::ZERO); // long message
-        // Much later traffic sees free links again.
+                                             // Much later traffic sees free links again.
         let late = SimTime::from_us(1);
         let d = noc.send(0, 3, 14, late);
         assert_eq!(d, late + SimDuration::from_ns(12));

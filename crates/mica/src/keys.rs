@@ -66,7 +66,10 @@ impl KeySampler {
                 eta: 0.0,
             },
             KeyDistribution::Zipf { theta } => {
-                assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "bad theta {theta}");
+                assert!(
+                    theta >= 0.0 && (theta - 1.0).abs() > 1e-9,
+                    "bad theta {theta}"
+                );
                 let zetan = zeta(n, theta);
                 let zeta2 = zeta(2.min(n), theta);
                 let alpha = 1.0 / (1.0 - theta);
@@ -193,7 +196,10 @@ mod tests {
             *counts.iter().min().unwrap() as f64,
             *counts.iter().max().unwrap() as f64,
         );
-        assert!(max / min < 1.4, "theta=0 should be near-uniform: {min}..{max}");
+        assert!(
+            max / min < 1.4,
+            "theta=0 should be near-uniform: {min}..{max}"
+        );
     }
 
     #[test]

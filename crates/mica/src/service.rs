@@ -73,7 +73,8 @@ impl ServiceModel {
     /// SCAN: `scan_keys` sequential GET-like probes, dominated by streaming
     /// DRAM reads.
     pub fn scan_time(&self, value_bytes: u32) -> SimDuration {
-        let per_key = self.mem.llc + SimDuration::from_ps(self.mem.dram.as_ps() / 2)
+        let per_key = self.mem.llc
+            + SimDuration::from_ps(self.mem.dram.as_ps() / 2)
             + SimDuration::from_ps(self.mem.dram.as_ps() / 4) * (self.lines(value_bytes) - 1);
         per_key * self.scan_keys as u64
     }
@@ -106,11 +107,7 @@ mod tests {
         let get = m.get_time(512);
         assert!(scan > get * 100);
         // ~50us-scale with defaults (the Fig. 14 long class is ~50us).
-        assert!(
-            (10.0..200.0).contains(&scan.as_us_f64()),
-            "scan={}",
-            scan
-        );
+        assert!((10.0..200.0).contains(&scan.as_us_f64()), "scan={}", scan);
     }
 
     #[test]

@@ -138,13 +138,7 @@ impl KvsWorkload {
     /// # Panics
     ///
     /// Panics if `clusters` is zero or exceeds the connection budget.
-    pub fn trace_clustered(
-        &self,
-        total_rate: f64,
-        clusters: u32,
-        n: usize,
-        seed: u64,
-    ) -> Trace {
+    pub fn trace_clustered(&self, total_rate: f64, clusters: u32, n: usize, seed: u64) -> Trace {
         use workload::arrival::MmppProcess;
         assert!(clusters > 0, "need at least one cluster");
         assert!(
@@ -153,7 +147,10 @@ impl KvsWorkload {
         );
         let per_cluster_conns = self.connections / clusters;
         let per_cluster_n = n / clusters as usize;
-        assert!(per_cluster_n > 0, "too few requests for {clusters} clusters");
+        assert!(
+            per_cluster_n > 0,
+            "too few requests for {clusters} clusters"
+        );
         let mut parts = Vec::with_capacity(clusters as usize);
         for c in 0..clusters {
             let arrivals = MmppProcess::bursty(total_rate / clusters as f64);
@@ -185,7 +182,12 @@ impl KvsWorkload {
 /// store actually works" check used by integration tests.
 ///
 /// Returns `(hits, misses)` over GET requests.
-pub fn execute_against_store(workload: &KvsWorkload, store: &mut Mica, trace: &Trace, seed: u64) -> (u64, u64) {
+pub fn execute_against_store(
+    workload: &KvsWorkload,
+    store: &mut Mica,
+    trace: &Trace,
+    seed: u64,
+) -> (u64, u64) {
     let mut rng = stream_rng(seed, streams::KEYS);
     let mut hits = 0;
     let mut misses = 0;

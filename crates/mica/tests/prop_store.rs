@@ -13,7 +13,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Set(k, v)),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Set(k, v)),
         any::<u16>().prop_map(Op::Get),
     ]
 }

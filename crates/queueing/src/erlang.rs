@@ -27,7 +27,10 @@
 /// assert!((b - 0.0184).abs() < 0.0005, "b={b}");
 /// ```
 pub fn erlang_b(servers: usize, offered: f64) -> f64 {
-    assert!(offered.is_finite() && offered >= 0.0, "offered load must be >= 0");
+    assert!(
+        offered.is_finite() && offered >= 0.0,
+        "offered load must be >= 0"
+    );
     if offered == 0.0 {
         return 0.0;
     }
@@ -107,7 +110,11 @@ impl MmK {
         assert!(servers > 0);
         assert!(lambda > 0.0 && lambda.is_finite());
         assert!(mu > 0.0 && mu.is_finite());
-        MmK { servers, lambda, mu }
+        MmK {
+            servers,
+            lambda,
+            mu,
+        }
     }
 
     /// Offered load in Erlangs: `A = λ/µ`.
@@ -263,7 +270,7 @@ mod tests {
     #[test]
     fn wait_quantiles() {
         let m = MmK::new(1, 0.5e6, 1e6); // M/M/1, rho 0.5
-        // Half the arrivals don't wait at all: p50 = 0.
+                                         // Half the arrivals don't wait at all: p50 = 0.
         assert_eq!(m.wait_quantile_secs(0.5), 0.0);
         // p99 positive and larger than p90.
         let p90 = m.wait_quantile_secs(0.90);

@@ -93,7 +93,22 @@ impl ThresholdModel {
             .collect();
         assert!(xy.len() >= 2, "need at least two stable calibration points");
         let (a, b) = linear_fit(&xy);
-        ThresholdModel { a, b, c: 1.0, d: 0.0 }
+        // A threshold cannot decrease as E[Nq] grows; measured points are
+        // step-quantized (first-violation queue lengths), so OLS over a flat
+        // or near-flat step can return a slope that is negative by floating
+        // noise. Clamp to the best flat fit in that case.
+        let (a, b) = if a < 0.0 {
+            let mean_y = xy.iter().map(|p| p.1).sum::<f64>() / xy.len() as f64;
+            (0.0, mean_y)
+        } else {
+            (a, b)
+        };
+        ThresholdModel {
+            a,
+            b,
+            c: 1.0,
+            d: 0.0,
+        }
     }
 }
 

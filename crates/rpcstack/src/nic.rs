@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn stack_transfer_convention() {
-        assert!(matches!(Transfer::for_stack(StackKind::Erpc), Transfer::Pcie(_)));
+        assert!(matches!(
+            Transfer::for_stack(StackKind::Erpc),
+            Transfer::Pcie(_)
+        ));
         assert!(matches!(
             Transfer::for_stack(StackKind::NanoRpc),
             Transfer::RegisterFile { .. }

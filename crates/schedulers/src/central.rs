@@ -14,9 +14,9 @@ use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run, EventQueue, World};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
-use std::collections::VecDeque;
 
 /// Configuration of the centralized-dispatch system.
 #[derive(Debug, Clone)]
@@ -130,8 +130,7 @@ impl World for CentralWorld<'_> {
             Ev::Enqueue(idx) => {
                 let req = &self.trace.requests()[idx];
                 // Total on-core work: stack rx + handler + stack tx.
-                let total =
-                    self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64);
+                let total = self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64);
                 self.central.push_back(QueuedRequest::new(idx, total, now));
                 self.try_dispatch(now, q);
             }
@@ -224,7 +223,12 @@ mod tests {
 
     #[test]
     fn completes_all() {
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.5, 8, 5000);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.5,
+            8,
+            5000,
+        );
         let r = CentralDispatch::new(CentralConfig::shinjuku(8)).run(&t);
         assert_eq!(r.completions.len(), 5000);
     }
@@ -243,10 +247,7 @@ mod tests {
         let slo = SimDuration::from_us(300);
         let s = shin.violation_ratio(slo);
         let z = zygos.violation_ratio(slo);
-        assert!(
-            s < z,
-            "Shinjuku violations {s} should be below ZygOS {z}"
-        );
+        assert!(s < z, "Shinjuku violations {s} should be below ZygOS {z}");
         // Shinjuku leaves mostly the longs themselves violating (~0.5%).
         assert!(s < 0.03, "Shinjuku violation ratio {s}");
     }
@@ -301,6 +302,9 @@ mod tests {
 
     #[test]
     fn workers_excludes_dispatcher() {
-        assert_eq!(CentralDispatch::new(CentralConfig::shinjuku(16)).workers(), 15);
+        assert_eq!(
+            CentralDispatch::new(CentralConfig::shinjuku(16)).workers(),
+            15
+        );
     }
 }

@@ -13,9 +13,9 @@ use rpcstack::stack::StackModel;
 use simcore::event::{run, EventQueue, World};
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
-use std::collections::VecDeque;
 
 /// Configuration of a d-FCFS system.
 #[derive(Debug, Clone)]
@@ -119,9 +119,7 @@ impl World for DFcfsWorld<'_> {
                 }
             }
             Ev::Done(core) => {
-                let qr = self.in_service[core]
-                    .take()
-                    .expect("Done on an idle core");
+                let qr = self.in_service[core].take().expect("Done on an idle core");
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
                     id: req.id,
@@ -201,7 +199,12 @@ mod tests {
             + StackModel::erpc().rx(300)
             + SimDuration::from_us(1) // service
             + StackModel::erpc().tx(64);
-        assert!(r.hist.min() >= floor, "min={} floor={}", r.hist.min(), floor);
+        assert!(
+            r.hist.min() >= floor,
+            "min={} floor={}",
+            r.hist.min(),
+            floor
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@ use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run, EventQueue, World};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
-use std::collections::VecDeque;
 
 /// Which published system the JBSQ model instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,8 +217,7 @@ impl World for JbsqWorld<'_> {
         match ev {
             Ev::NicEnqueue(idx, domain) => {
                 let req = &self.trace.requests()[idx];
-                let total =
-                    self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64);
+                let total = self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64);
                 self.nic_queue[domain].push_back(QueuedRequest::new(idx, total, now));
                 self.try_push(domain, now, q);
             }
@@ -318,8 +317,17 @@ mod tests {
 
     #[test]
     fn completes_all_variants() {
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.6, 8, 5000);
-        for v in [JbsqVariant::RpcValet, JbsqVariant::Nebula, JbsqVariant::NanoPu] {
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.6,
+            8,
+            5000,
+        );
+        for v in [
+            JbsqVariant::RpcValet,
+            JbsqVariant::Nebula,
+            JbsqVariant::NanoPu,
+        ] {
             let r = Jbsq::new(v, 8).run(&t);
             assert_eq!(r.completions.len(), 5000, "{}", v.name());
         }
@@ -330,7 +338,12 @@ mod tests {
         // Indirect check: with fixed service and bound 2, no request should
         // ever wait behind more than (bound-1) local entries beyond the NIC
         // queue — latency under light load is tightly clustered.
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.2, 8, 5000);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.2,
+            8,
+            5000,
+        );
         let r = Jbsq::new(JbsqVariant::Nebula, 8).run(&t);
         // At 20% load nearly everything should finish within ~2 service times
         // + stack + transfer.
@@ -354,7 +367,10 @@ mod tests {
             nb > np * 1.5,
             "Nebula violations {nb} should far exceed nanoPU {np}"
         );
-        assert!(np < 0.03, "nanoPU violations {np} should be near the 0.5% floor");
+        assert!(
+            np < 0.03,
+            "nanoPU violations {np} should be near the 0.5% floor"
+        );
         assert!(
             nebula.p99() > nanopu.p99(),
             "Nebula p99 {} should exceed nanoPU p99 {}",
@@ -366,7 +382,12 @@ mod tests {
     #[test]
     fn nebula_fine_on_uniform_service() {
         // Without dispersion, JBSQ(2) is near-optimal.
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.9, 16, 50_000);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.9,
+            16,
+            50_000,
+        );
         let r = Jbsq::new(JbsqVariant::Nebula, 16).run(&t);
         assert!(r.p99() < SimDuration::from_us(20), "p99={}", r.p99());
     }
@@ -375,7 +396,12 @@ mod tests {
     fn rpcvalet_bound_one_idles_more() {
         // JBSQ(1) cannot hide transfer latency; JBSQ(2) prefetches one
         // request, so at high load Nebula sustains lower latency.
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_ns(500)), 0.9, 16, 50_000);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_ns(500)),
+            0.9,
+            16,
+            50_000,
+        );
         let valet = Jbsq::new(JbsqVariant::RpcValet, 16).run(&t);
         let nebula = Jbsq::new(JbsqVariant::Nebula, 16).run(&t);
         assert!(

@@ -51,4 +51,7 @@ pub use dfcfs::{DFcfs, DFcfsConfig};
 pub use ideal::{CentralQueue, CentralQueueConfig, InstrumentedResult};
 pub use jbsq::{Jbsq, JbsqConfig, JbsqVariant};
 pub use stealing::{StealingConfig, WorkStealing};
-pub use sweep::{sweep_loads, throughput_at_slo, SweepPoint};
+pub use sweep::{
+    sweep_loads, sweep_loads_parallel, throughput_at_slo, throughput_at_slo_search, SloSearch,
+    SweepPoint,
+};

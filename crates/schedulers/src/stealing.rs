@@ -21,9 +21,9 @@ use rpcstack::stack::StackModel;
 use simcore::event::{run, EventQueue, World};
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
-use std::collections::VecDeque;
 
 /// Configuration for the work-stealing system.
 #[derive(Debug, Clone)]
@@ -260,7 +260,13 @@ mod tests {
 
     #[test]
     fn completes_all() {
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.6, 8, 5000, 64);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.6,
+            8,
+            5000,
+            64,
+        );
         let mut sys = WorkStealing::new(StealingConfig::zygos(8));
         let r = sys.run(&t);
         assert_eq!(r.completions.len(), 5000);
@@ -295,7 +301,10 @@ mod tests {
         );
         let mut sys = WorkStealing::new(StealingConfig::zygos(8));
         sys.run(&t);
-        assert!(sys.stolen() > 0, "under imbalance some requests must be stolen");
+        assert!(
+            sys.stolen() > 0,
+            "under imbalance some requests must be stolen"
+        );
         // ZygOS's published number is ~60%; ours should at least be a
         // substantial fraction under this imbalance.
         assert!(sys.stolen_fraction(20_000) > 0.1);
@@ -325,7 +334,13 @@ mod tests {
 
     #[test]
     fn single_core_never_steals() {
-        let t = trace(ServiceDistribution::Fixed(SimDuration::from_us(1)), 0.5, 1, 1000, 4);
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.5,
+            1,
+            1000,
+            4,
+        );
         let mut sys = WorkStealing::new(StealingConfig::zygos(1));
         sys.run(&t);
         assert_eq!(sys.stolen(), 0);

@@ -2,7 +2,20 @@
 //!
 //! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by time,
 //! with ties broken by insertion sequence number so that simulations are
-//! bit-reproducible regardless of heap internals.
+//! bit-reproducible regardless of queue internals.
+//!
+//! Two implementations share that contract:
+//!
+//! - [`EventQueue`] — a calendar queue (bucketed timing wheel) tuned for the
+//!   short-horizon, high-density event populations of nanosecond-scale RPC
+//!   simulation. Near-future events land in O(1) ring buckets; far-future
+//!   events overflow into a sorted heap and migrate into the ring as the
+//!   window advances.
+//! - [`BinaryHeapQueue`] — the classic `BinaryHeap` implementation, kept as
+//!   the differential-testing oracle and benchmarking baseline.
+//!
+//! Both pop events in identical `(time, seq)` order, which the property tests
+//! in `tests/prop.rs` check on arbitrary interleavings.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -39,10 +52,24 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A min-time priority queue of simulation events.
+/// Log2 of the default bucket width in picoseconds: 2^16 ps = 65.536 ns.
+///
+/// Power-of-two widths turn the day/slot computation into shifts and masks.
+/// At the simulator's typical densities (64 cores × ~1 µs service times →
+/// ~64 events/µs) this puts a handful of events in each bucket.
+const DEFAULT_BUCKET_WIDTH_LOG2: u32 = 16;
+
+/// Default number of ring buckets (must be a power of two). With the default
+/// width the ring covers a ~67 µs window — comfortably wider than the SLOs
+/// and timer horizons the schedulers work with.
+const DEFAULT_NUM_BUCKETS: usize = 1 << 10;
+
+/// A min-time priority queue of simulation events, implemented as a calendar
+/// queue (bucketed timing wheel) with a sorted overflow heap.
 ///
 /// Events that share an instant pop in the order they were pushed (FIFO),
-/// which keeps runs deterministic.
+/// which keeps runs deterministic. The pop order is bit-identical to
+/// [`BinaryHeapQueue`]'s.
 ///
 /// # Examples
 ///
@@ -59,7 +86,21 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Ring of buckets; slot for day `d` is `d & (num_buckets - 1)`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Log2 of the bucket width in picoseconds.
+    width_log2: u32,
+    /// First day of the current window. Only events with
+    /// `base_day <= day < base_day + num_buckets` live in the ring.
+    base_day: u64,
+    /// Scan cursor: no ring event has a day earlier than this. Rewinds when
+    /// a push lands behind it (still within the window).
+    cursor_day: u64,
+    /// Number of events currently in the ring.
+    ring_len: usize,
+    /// Events outside the ring window: far-future days, or (rarely) pushes
+    /// behind `base_day`. Ordered min-first via [`Scheduled`]'s inverted Ord.
+    overflow: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
 }
 
@@ -70,9 +111,217 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// Creates an empty queue with the default geometry.
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_WIDTH_LOG2, DEFAULT_NUM_BUCKETS)
+    }
+
+    /// Creates an empty queue; `capacity` is a hint carried over from the
+    /// heap-based API (ring buckets grow on demand, so it is advisory only).
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
+    }
+
+    /// Creates an empty queue with `1 << width_log2` picoseconds per bucket
+    /// and `num_buckets` ring buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is not a power of two or `width_log2 >= 64`.
+    pub fn with_geometry(width_log2: u32, num_buckets: usize) -> Self {
+        assert!(num_buckets.is_power_of_two(), "bucket count must be 2^k");
+        assert!(width_log2 < 64, "bucket width must fit in u64");
+        EventQueue {
+            buckets: (0..num_buckets).map(|_| Vec::new()).collect(),
+            width_log2,
+            base_day: 0,
+            cursor_day: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, time: SimTime) -> u64 {
+        time.as_ps() >> self.width_log2
+    }
+
+    #[inline]
+    fn slot_of(&self, day: u64) -> usize {
+        (day as usize) & (self.buckets.len() - 1)
+    }
+
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.base_day.saturating_add(self.buckets.len() as u64)
+    }
+
+    /// Schedules `event` at `time`.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_scheduled(Scheduled { time, seq, event });
+    }
+
+    /// Inserts an already-sequenced entry (also used by [`run`] to put a
+    /// beyond-horizon event back without disturbing FIFO order).
+    fn push_scheduled(&mut self, s: Scheduled<E>) {
+        let day = self.day_of(s.time);
+        if day >= self.base_day && day < self.window_end() {
+            if day < self.cursor_day {
+                self.cursor_day = day;
+            }
+            let slot = self.slot_of(day);
+            self.buckets[slot].push(s);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    /// Finds the `(bucket_slot, index_within_bucket)` of the earliest ring
+    /// event, advancing the cursor past empty buckets. Ring must be
+    /// non-empty.
+    fn ring_min(&mut self) -> (usize, usize) {
+        debug_assert!(self.ring_len > 0);
+        loop {
+            let slot = self.slot_of(self.cursor_day);
+            if self.buckets[slot].is_empty() {
+                self.cursor_day += 1;
+                debug_assert!(self.cursor_day < self.window_end());
+                continue;
+            }
+            // All events in this bucket share a day; the earliest overall is
+            // the (time, seq)-minimum within it.
+            let bucket = &self.buckets[slot];
+            let mut best = 0;
+            for i in 1..bucket.len() {
+                let (bi, bb) = (&bucket[i], &bucket[best]);
+                if (bi.time, bi.seq) < (bb.time, bb.seq) {
+                    best = i;
+                }
+            }
+            return (slot, best);
+        }
+    }
+
+    /// When the ring drains, re-anchor the window at the overflow minimum and
+    /// migrate every overflow event that now fits.
+    fn migrate_overflow(&mut self) {
+        debug_assert!(self.ring_len == 0);
+        let Some(head) = self.overflow.peek() else {
+            return;
+        };
+        self.base_day = self.day_of(head.time);
+        self.cursor_day = self.base_day;
+        while let Some(head) = self.overflow.peek() {
+            if self.day_of(head.time) >= self.window_end() {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked entry exists");
+            let slot = self.slot_of(self.day_of(s.time));
+            self.buckets[slot].push(s);
+            self.ring_len += 1;
+        }
+    }
+
+    /// Removes and returns the earliest entry with its sequence number.
+    fn pop_scheduled(&mut self) -> Option<Scheduled<E>> {
+        if self.ring_len == 0 {
+            self.migrate_overflow();
+        }
+        if self.ring_len == 0 {
+            return self.overflow.pop();
+        }
+        let (slot, idx) = self.ring_min();
+        // The overflow can only beat the ring with an event pushed behind the
+        // window (time strictly earlier than every ring day).
+        if let Some(head) = self.overflow.peek() {
+            let ring = &self.buckets[slot][idx];
+            if (head.time, head.seq) < (ring.time, ring.seq) {
+                return self.overflow.pop();
+            }
+        }
+        self.ring_len -= 1;
+        Some(self.buckets[slot].swap_remove(idx))
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_scheduled().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let mut best: Option<(SimTime, u64)> = None;
+        if self.ring_len > 0 {
+            // Non-mutating scan from the cursor to the first non-empty bucket.
+            let mut day = self.cursor_day;
+            loop {
+                let bucket = &self.buckets[self.slot_of(day)];
+                if bucket.is_empty() {
+                    day += 1;
+                    continue;
+                }
+                for s in bucket {
+                    if best.is_none_or(|b| (s.time, s.seq) < b) {
+                        best = Some((s.time, s.seq));
+                    }
+                }
+                break;
+            }
+        }
+        if let Some(head) = self.overflow.peek() {
+            if best.is_none_or(|b| (head.time, head.seq) < b) {
+                best = Some((head.time, head.seq));
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.ring_len = 0;
+        self.overflow.clear();
+    }
+}
+
+/// The classic binary-heap event queue.
+///
+/// Pops in exactly the same `(time, seq)` order as [`EventQueue`]; retained
+/// as the oracle for differential tests and as the baseline for the
+/// `calendar_queue` benchmark.
+#[derive(Debug, Clone)]
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -80,7 +329,7 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
         }
@@ -151,7 +400,9 @@ pub struct RunSummary {
 /// Drains `queue` through `world` until the queue empties, `horizon` passes,
 /// or the world requests a stop.
 ///
-/// Events scheduled beyond `horizon` are left unprocessed.
+/// Events scheduled beyond `horizon` are left unprocessed. The loop does a
+/// single pop per event; a popped beyond-horizon event is reinserted with its
+/// original sequence number, so FIFO tie-breaking survives intact.
 pub fn run<W: World>(
     world: &mut W,
     queue: &mut EventQueue<W::Event>,
@@ -159,18 +410,18 @@ pub fn run<W: World>(
 ) -> RunSummary {
     let mut events = 0u64;
     let mut now = SimTime::ZERO;
-    while let Some(t) = queue.peek_time() {
-        if t > horizon {
+    while let Some(s) = queue.pop_scheduled() {
+        if s.time > horizon {
+            queue.push_scheduled(s);
             return RunSummary {
                 events,
                 end_time: now,
                 stopped_early: false,
             };
         }
-        let (t, event) = queue.pop().expect("peeked event must exist");
-        debug_assert!(t >= now, "event queue went backwards in time");
-        now = t;
-        world.handle(now, event, queue);
+        debug_assert!(s.time >= now, "event queue went backwards in time");
+        now = s.time;
+        world.handle(now, s.event, queue);
         events += 1;
         if world.should_stop(now) {
             return RunSummary {
@@ -224,6 +475,66 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn far_future_overflow_round_trips() {
+        // A tiny ring (4 buckets × 2^10 ps ≈ 1 ns each) forces overflow use.
+        let mut q = EventQueue::with_geometry(10, 4);
+        q.push(SimTime::from_us(500), "far");
+        q.push(SimTime::from_ns(1), "near");
+        q.push(SimTime::from_us(2000), "farther");
+        q.push(SimTime::from_ns(2), "near2");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), "near2")));
+        assert_eq!(q.pop(), Some((SimTime::from_us(500), "far")));
+        assert_eq!(q.pop(), Some((SimTime::from_us(2000), "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_behind_window_pops_first() {
+        let mut q = EventQueue::with_geometry(10, 4);
+        // Drain past t=0 so the window advances, then push before it.
+        q.push(SimTime::from_us(10), "anchor");
+        assert_eq!(q.pop(), Some((SimTime::from_us(10), "anchor")));
+        q.push(SimTime::from_us(11), "ahead");
+        q.push(SimTime::from_ns(3), "behind");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(3)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), "behind")));
+        assert_eq!(q.pop(), Some((SimTime::from_us(11), "ahead")));
+    }
+
+    #[test]
+    fn interleaved_ties_stay_fifo_across_structures() {
+        // Same instant spread across ring and overflow epochs.
+        let mut q = EventQueue::with_geometry(10, 4);
+        let t = SimTime::from_us(3);
+        for i in 0..10 {
+            q.push(t, i);
+            q.push(SimTime::from_ns(i as u64), 100 + i);
+        }
+        let mut tied = Vec::new();
+        while let Some((time, e)) = q.pop() {
+            if time == t {
+                tied.push(e);
+            }
+        }
+        assert_eq!(tied, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_queue_matches_basic_order() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(7), 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 3]);
+        assert!(q.is_empty());
+    }
+
     /// A world that re-schedules a tick N times then stops.
     struct Ticker {
         remaining: u32,
@@ -274,6 +585,28 @@ mod tests {
         // Events at 0,10,20,30 processed; 40 is beyond the horizon.
         assert_eq!(summary.events, 4);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn horizon_reinsert_preserves_fifo() {
+        // Two events tie at t=40; the run must pop them in push order even
+        // though the first was popped and reinserted at the horizon check.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(40), 1);
+        q.push(SimTime::from_ns(40), 2);
+        struct Recorder(Vec<i32>);
+        impl World for Recorder {
+            type Event = i32;
+            fn handle(&mut self, _now: SimTime, e: i32, _q: &mut EventQueue<i32>) {
+                self.0.push(e);
+            }
+        }
+        let mut w = Recorder(Vec::new());
+        let summary = run(&mut w, &mut q, SimTime::from_ns(35));
+        assert_eq!(summary.events, 0);
+        assert_eq!(q.len(), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2]);
     }
 
     struct StopAtThree(u32);

@@ -10,6 +10,7 @@
 //!   [`event::World`] trait and [`event::run`] loop.
 //! - [`metrics`]: HDR-style latency histograms, quantiles and SLO accounting.
 //! - [`rng`]: per-component deterministic RNG streams.
+//! - [`parallel`]: deterministic thread fan-out for parameter sweeps.
 //! - [`report`]: aligned plain-text tables for experiment output.
 //!
 //! # Examples
@@ -63,12 +64,14 @@
 
 pub mod event;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{run, EventQueue, RunSummary, World};
+pub use event::{run, BinaryHeapQueue, EventQueue, RunSummary, World};
 pub use metrics::{LatencyHistogram, LatencySummary, SloTracker};
+pub use parallel::{default_threads, parallel_map, seeded_map};
 pub use stats::{batch_means_ci, MeanCi};
 pub use time::{SimDuration, SimTime};

@@ -147,9 +147,7 @@ impl LatencyHistogram {
             if seen >= rank {
                 // Bucket midpoints can land outside the observed range at
                 // the extremes; clamp to the exact min/max.
-                return SimDuration::from_ps(
-                    Self::value_for(idx).clamp(self.min_ps, self.max_ps),
-                );
+                return SimDuration::from_ps(Self::value_for(idx).clamp(self.min_ps, self.max_ps));
             }
         }
         self.max()
@@ -443,7 +441,18 @@ mod tests {
 
     #[test]
     fn bucket_value_within_range() {
-        for ps in [0u64, 1, 63, 64, 65, 127, 128, 1_000, 123_456, 10_000_000_000] {
+        for ps in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            123_456,
+            10_000_000_000,
+        ] {
             let idx = LatencyHistogram::index_for(ps);
             let rep = LatencyHistogram::value_for(idx) as f64;
             let rel = (rep - ps as f64).abs() / (ps.max(1) as f64);

@@ -48,7 +48,8 @@ impl Table {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned cells (convenient with `format!`).

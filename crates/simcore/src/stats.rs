@@ -42,9 +42,9 @@ impl MeanCi {
 /// freedom (clamped to the asymptotic 1.96 beyond the table).
 fn t_crit_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -114,7 +114,9 @@ mod tests {
     fn interval_covers_true_mean() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let xs: Vec<f64> = (0..50_000).map(|_| 10.0 + rng.random::<f64>() - 0.5).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| 10.0 + rng.random::<f64>() - 0.5)
+            .collect();
         let ci = batch_means_ci(&xs, 1000, 30).unwrap();
         assert!(ci.lo() <= 10.0 && 10.0 <= ci.hi(), "{ci:?}");
         assert!(ci.relative() < 0.01);
@@ -124,7 +126,7 @@ mod tests {
     fn warmup_discards_transient() {
         // Transient of huge values then steady 1.0.
         let mut xs = vec![1000.0; 500];
-        xs.extend(std::iter::repeat(1.0).take(10_000));
+        xs.extend(std::iter::repeat_n(1.0, 10_000));
         let with = batch_means_ci(&xs, 500, 10).unwrap();
         assert!((with.mean - 1.0).abs() < 1e-9);
         let without = batch_means_ci(&xs, 0, 10).unwrap();

@@ -1,11 +1,79 @@
 //! Property-based tests for the simulation core.
 
 use proptest::prelude::*;
-use simcore::event::EventQueue;
+use simcore::event::{BinaryHeapQueue, EventQueue};
 use simcore::metrics::LatencyHistogram;
 use simcore::time::{SimDuration, SimTime};
 
+/// An arbitrary push/pop interleaving: `Some(time_ns)` pushes, `None` pops.
+fn op_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Mostly pushes, clustered over a small time range so that ties
+            // (FIFO tie-breaking) and bucket collisions actually occur.
+            (0u64..2_000).prop_map(Some),
+            // Occasional far-future pushes exercise the overflow heap.
+            (1_000_000u64..100_000_000).prop_map(Some),
+            Just(None),
+        ],
+        1..300,
+    )
+}
+
 proptest! {
+    /// The calendar queue pops exactly the same `(time, event)` sequence as
+    /// the binary-heap oracle on arbitrary push/pop interleavings, including
+    /// FIFO ties and overflow traffic.
+    #[test]
+    fn calendar_matches_heap_on_interleavings(ops in op_strategy()) {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Some(t_ns) => {
+                    cal.push(SimTime::from_ns(t_ns), i);
+                    heap.push(SimTime::from_ns(t_ns), i);
+                }
+                None => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same differential check with a deliberately tiny ring, so nearly every
+    /// push overflows or rewinds the cursor.
+    #[test]
+    fn tiny_ring_matches_heap(ops in op_strategy()) {
+        let mut cal = EventQueue::with_geometry(10, 4);
+        let mut heap = BinaryHeapQueue::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Some(t_ns) => {
+                    cal.push(SimTime::from_ns(t_ns), i);
+                    heap.push(SimTime::from_ns(t_ns), i);
+                }
+                None => prop_assert_eq!(cal.pop(), heap.pop()),
+            }
+        }
+        loop {
+            let (c, h) = (cal.pop(), heap.pop());
+            prop_assert_eq!(c, h);
+            if c.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The event queue always pops in non-decreasing time order, with FIFO
     /// tie-breaking.
     #[test]

@@ -236,7 +236,9 @@ mod tests {
     fn poisson_gaps_are_variable() {
         let mut p = PoissonProcess::new(1e6);
         let mut rng = StdRng::seed_from_u64(12);
-        let gaps: Vec<f64> = (0..1000).map(|_| p.next_gap(&mut rng).as_ns_f64()).collect();
+        let gaps: Vec<f64> = (0..1000)
+            .map(|_| p.next_gap(&mut rng).as_ns_f64())
+            .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         let cv2 = var / (mean * mean);
@@ -271,7 +273,10 @@ mod tests {
         let mut p = MmppProcess::bursty(1_000_000.0);
         let r = measured_rate(&mut p, 400_000, 13);
         let expect = p.mean_rate();
-        assert!((r - expect).abs() / expect < 0.08, "rate={r} expect={expect}");
+        assert!(
+            (r - expect).abs() / expect < 0.08,
+            "rate={r} expect={expect}"
+        );
     }
 
     #[test]
@@ -315,7 +320,10 @@ mod tests {
         let mean = counts.iter().sum::<f64>() / n;
         let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
         let iod = var / mean;
-        assert!(iod > 1.5, "index of dispersion {iod} should exceed Poisson's 1");
+        assert!(
+            iod > 1.5,
+            "index of dispersion {iod} should exceed Poisson's 1"
+        );
     }
 
     #[test]

@@ -291,7 +291,10 @@ mod tests {
         };
         let expected = 1000.0 * (0.125f64).exp();
         let m = sample_mean(&d, 400_000, 5);
-        assert!((m - expected).abs() / expected < 0.02, "mean={m} expected={expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.02,
+            "mean={m} expected={expected}"
+        );
         // mean() rounds to picoseconds, so allow ps-scale error.
         assert!((d.mean().as_ns_f64() - expected).abs() / expected < 1e-6);
     }

@@ -125,7 +125,7 @@ mod tests {
                     max_imbalance = max_imbalance.max((max - min) / (total as f64 / 4.0));
                 }
                 counts = [0; 4];
-                w_end = w_end + window;
+                w_end += window;
             }
             counts[(r.conn.0 / 4) as usize % 4] += 1;
         }

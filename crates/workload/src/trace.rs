@@ -74,7 +74,11 @@ impl Trace {
         if self.requests.is_empty() {
             return SimDuration::ZERO;
         }
-        let total: u128 = self.requests.iter().map(|r| r.service.as_ps() as u128).sum();
+        let total: u128 = self
+            .requests
+            .iter()
+            .map(|r| r.service.as_ps() as u128)
+            .sum();
         SimDuration::from_ps((total / self.requests.len() as u128) as u64)
     }
 
@@ -281,9 +285,8 @@ impl<A: ArrivalProcess> TraceBuilder<A> {
         for i in 0..self.n_requests {
             now += self.arrivals.next_gap(&mut arr_rng);
             let service = self.service.sample(&mut svc_rng);
-            let conn = ConnectionId(
-                self.connection_offset + key_rng.random_range(0..self.n_connections),
-            );
+            let conn =
+                ConnectionId(self.connection_offset + key_rng.random_range(0..self.n_connections));
             let kind = if self.kind_for_service {
                 if service >= self.scan_threshold {
                     RequestKind::Scan

@@ -51,9 +51,7 @@ fn main() {
     let trace = Trace::merge(vec![tenant_a, tenant_b]);
     let tenancy = Tenancy::even(groups, 2);
 
-    println!(
-        "64 cores, 4 groups. Tenant A: hot bursty stream; tenant B: light trickle.\n"
-    );
+    println!("64 cores, 4 groups. Tenant A: hot bursty stream; tenant B: light trickle.\n");
 
     let mut table = Table::new(&["runtime", "tenant", "p50", "p99", "max"]);
     for (label, isolated) in [("shared", false), ("isolated", true)] {
@@ -72,7 +70,11 @@ fn main() {
             }
             table.row(&[
                 label,
-                if tenant == 0 { "A (noisy)" } else { "B (victim)" },
+                if tenant == 0 {
+                    "A (noisy)"
+                } else {
+                    "B (victim)"
+                },
                 &hist.quantile(0.5).to_string(),
                 &hist.quantile(0.99).to_string(),
                 &hist.max().to_string(),

@@ -53,7 +53,10 @@ fn main() {
 
     let slo = simcore::time::SimDuration::from_ns_f64(mean.as_ns_f64() * 10.0);
     let mut t = Table::new(&["system", "p50", "p99", "p99.9", "viol@10A"]);
-    for (name, r) in [("Nebula JBSQ(2)", &nebula), ("Altocumulus int", &ac_result.system)] {
+    for (name, r) in [
+        ("Nebula JBSQ(2)", &nebula),
+        ("Altocumulus int", &ac_result.system),
+    ] {
         let s = r.summary();
         t.row(&[
             name,

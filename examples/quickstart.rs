@@ -43,7 +43,10 @@ fn main() {
 
     let slo = SimDuration::from_us(300);
     let mut table = Table::new(&["system", "p50", "p99", "max", "SLO violations"]);
-    for (name, r) in [("RSS d-FCFS", &rss_result), ("Altocumulus", &ac_result.system)] {
+    for (name, r) in [
+        ("RSS d-FCFS", &rss_result),
+        ("Altocumulus", &ac_result.system),
+    ] {
         let s = r.summary();
         table.row(&[
             name,

@@ -65,9 +65,7 @@ fn main() {
             "\nfitted model: E[T] = {:.3} * E[Nq] + {:.1}   (R^2 = {:.4})",
             model.a, model.b, r2
         );
-        println!(
-            "paper's Fixed-distribution constants for comparison: a=1.01, c=0.998, b=d=0"
-        );
+        println!("paper's Fixed-distribution constants for comparison: a=1.01, c=0.998, b=d=0");
         let naive = queueing::naive_upper_bound(cores, 10.0);
         println!(
             "at load 0.99 the model picks T={} vs the naive upper bound k*L+1={naive}",

@@ -31,7 +31,10 @@ fn section_6_walkthrough_end_to_end() {
     assert_eq!(prs.message_size(), 10);
 
     let orders = plan_migrations(2, &q, usize::MAX, 40, 4);
-    assert_eq!(orders.iter().map(|o| o.dst).collect::<Vec<_>>(), vec![0, 1, 3]);
+    assert_eq!(
+        orders.iter().map(|o| o.dst).collect::<Vec<_>>(),
+        vec![0, 1, 3]
+    );
 
     // Stage, send and ACK each order through the hardware models.
     let mut mr = MigrationRegisters::new(40);
@@ -48,7 +51,9 @@ fn section_6_walkthrough_end_to_end() {
             descriptors: batch,
         };
         assert_eq!(msg.wire_bytes(), HEADER_BYTES + 10 * DESCRIPTOR_BYTES);
-        send_fifo.push(msg).expect("send FIFO has room for 3 messages");
+        send_fifo
+            .push(msg)
+            .expect("send FIFO has room for 3 messages");
     }
     assert_eq!(mr.len(), 30, "three staged batches of 10");
 
@@ -65,7 +70,10 @@ fn section_6_walkthrough_end_to_end() {
             mr.invalidate(descriptors.len());
         }
     }
-    assert_eq!(acks, 3, "the Fig. 8 source receives 3 ACK messages in total");
+    assert_eq!(
+        acks, 3,
+        "the Fig. 8 source receives 3 ACK messages in total"
+    );
     assert!(mr.is_empty(), "ACKed entries are invalidated");
 }
 
@@ -91,7 +99,11 @@ fn nack_on_full_receive_fifo() {
         src: 1,
         descriptors: incoming,
     };
-    assert_eq!(nack.wire_bytes(), HEADER_BYTES, "NACK is header-only on the wire");
+    assert_eq!(
+        nack.wire_bytes(),
+        HEADER_BYTES,
+        "NACK is header-only on the wire"
+    );
     // Source restores its staged entries instead of invalidating.
     let restored = mr.drain();
     assert_eq!(restored.len(), 8);

@@ -5,7 +5,6 @@
 use altocumulus::{AcConfig, Altocumulus, ThresholdPolicy};
 use queueing::erlang::expected_queue_len;
 use queueing::threshold::ThresholdModel;
-use schedulers::common::RpcSystem;
 use schedulers::ideal::{CentralQueue, CentralQueueConfig};
 use simcore::time::SimDuration;
 use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
@@ -107,7 +106,8 @@ fn accuracy_and_effectiveness_are_consistent() {
     off.migration_enabled = false;
     let base = Altocumulus::new(off).run_detailed(&trace);
 
-    let acc = altocumulus::prediction_accuracy(&base.system, &with.stats.predicted, trace.len(), slo);
+    let acc =
+        altocumulus::prediction_accuracy(&base.system, &with.stats.predicted, trace.len(), slo);
     assert!((0.0..=1.0).contains(&acc), "accuracy {acc} out of range");
 
     let migrated: std::collections::HashSet<usize> = with
@@ -117,6 +117,16 @@ fn accuracy_and_effectiveness_are_consistent() {
         .filter(|c| c.migrated)
         .map(|c| c.id.0 as usize)
         .collect();
-    let b = altocumulus::classify_effectiveness(&base.system, &with.system, &migrated, trace.len(), slo);
-    assert_eq!(b.total() as usize, migrated.len(), "every migration classified");
+    let b = altocumulus::classify_effectiveness(
+        &base.system,
+        &with.system,
+        &migrated,
+        trace.len(),
+        slo,
+    );
+    assert_eq!(
+        b.total() as usize,
+        migrated.len(),
+        "every migration classified"
+    );
 }

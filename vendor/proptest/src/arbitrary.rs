@@ -1,0 +1,79 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values, as upstream proptest does.
+                match rng.rng.random_range(0u32..32) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.rng.random::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-range doubles; specials are rarely useful for the
+        // numeric properties tested in this workspace.
+        let mag: f64 = rng.rng.random_range(-1.0e12f64..1.0e12);
+        mag
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u32>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_boundaries_eventually() {
+        let mut rng = TestRng::from_seed(9);
+        let vals: Vec<u8> = (0..600).map(|_| any::<u8>().generate(&mut rng)).collect();
+        assert!(vals.contains(&0));
+        assert!(vals.contains(&u8::MAX));
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::from_seed(10);
+        let vals: Vec<bool> = (0..100).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,102 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `elem` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.min + 1 >= self.size.max_excl {
+            self.size.min
+        } else {
+            rng.rng.random_range(self.size.min..self.size.max_excl)
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut rng = TestRng::from_seed(5);
+        let s = vec(0u32..10, 3..7);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()), "len={}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn fixed_length() {
+        let mut rng = TestRng::from_seed(6);
+        let s = vec(0u8..5, 4usize);
+        assert_eq!(s.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let mut rng = TestRng::from_seed(7);
+        let s = vec(vec(0u8..3, 1..3), 2..4);
+        let v = s.generate(&mut rng);
+        assert!((2..4).contains(&v.len()));
+        assert!(v.iter().all(|inner| (1..3).contains(&inner.len())));
+    }
+}

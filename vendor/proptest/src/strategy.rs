@@ -1,0 +1,198 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is simply a
+/// deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Bias a sixteenth of draws to the boundaries, where bugs live.
+                match rng.rng.random_range(0u32..32) {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => rng.rng.random_range(self.clone()),
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                match rng.rng.random_range(0u32..32) {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => rng.rng.random_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        rng.rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident $v:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A a);
+tuple_strategy!(A a, B b);
+tuple_strategy!(A a, B b, C c);
+tuple_strategy!(A a, B b, C c, D d);
+tuple_strategy!(A a, B b, C c, D d, E e);
+tuple_strategy!(A a, B b, C c, D d, E e, F f);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h, I i);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h, I i, J j);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h, I i, J j, K k);
+tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h, I i, J j, K k, L l);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..2_000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn boundary_bias_hits_edges() {
+        let mut rng = TestRng::from_seed(2);
+        let vals: Vec<u32> = (0..500).map(|_| (10u32..20).generate(&mut rng)).collect();
+        assert!(vals.contains(&10));
+        assert!(vals.contains(&19));
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (1u32..5).prop_map(|x| x * 100);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 100 == 0 && (100..500).contains(&v));
+        }
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::from_seed(4);
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let vals: Vec<u8> = (0..200).map(|_| u.generate(&mut rng)).collect();
+        assert!(vals.contains(&1) && vals.contains(&2));
+    }
+}

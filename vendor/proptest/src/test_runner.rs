@@ -1,0 +1,167 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies while generating a case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Underlying generator (public so strategies can draw from it).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assume!` failed; the case is discarded, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Attaches the generated input's debug rendering to a failure.
+    pub fn with_input(self, input: &str) -> Self {
+        match self {
+            TestCaseError::Reject => TestCaseError::Reject,
+            TestCaseError::Fail(msg) => TestCaseError::Fail(format!("{msg}\n    input: {input}")),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Runs `case` until `config.cases` successes, a failure, or the rejection
+/// budget is exhausted. Seeding is deterministic per test name so failures
+/// reproduce; set `PROPTEST_SEED` to explore a different stream or
+/// `PROPTEST_CASES` to override the case count globally.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|c| c.max(1) as u32)
+        .unwrap_or(config.cases);
+    let seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        h.finish()
+    });
+    let mut rng = TestRng::from_seed(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let reject_budget = cases as u64 * 64;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{cases} cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s) \
+                     (seed {seed}):\n    {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(ProptestConfig::with_cases(17), "counting", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0u32;
+        let mut passed = 0u32;
+        run_cases(ProptestConfig::with_cases(10), "rejecting", |_| {
+            total += 1;
+            if total.is_multiple_of(2) {
+                Err(TestCaseError::Reject)
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 10);
+        assert!(total > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run_cases(ProptestConfig::with_cases(5), "failing", |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = Vec::new();
+        run_cases(ProptestConfig::with_cases(5), "stream", |rng| {
+            a.push(rand::Rng::random::<u64>(&mut rng.rng));
+            Ok(())
+        });
+        let mut b = Vec::new();
+        run_cases(ProptestConfig::with_cases(5), "stream", |rng| {
+            b.push(rand::Rng::random::<u64>(&mut rng.rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}
