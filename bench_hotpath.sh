@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Measures hot-path throughput (events/sec) and peak event-queue population
+# for the representative sim_throughput configuration, writing the result to
+# BENCH_hotpath.json. Run from the repository root:
+#
+#   ./bench_hotpath.sh
+#
+# The JSON includes a "prior" block with the pre-streaming numbers measured
+# on the same configuration, so regressions are visible without digging
+# through git history.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p bench --bin hotpath
+./target/release/hotpath | tee BENCH_hotpath.json

@@ -16,4 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> allocation-regression gate"
+# Fast steady-state allocation budgets (single-test files so the global
+# counting allocator sees no cross-thread noise). These fail loudly if a
+# per-event allocation sneaks back into the simulator or scheduler hot path.
+# For the full throughput/peak-queue record, run ./bench_hotpath.sh.
+cargo test -p simcore --release --test alloc_budget -- --quiet
+cargo test -p altocumulus --release --test alloc_budget -- --quiet
+
 echo "CI OK"

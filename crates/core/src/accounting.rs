@@ -17,6 +17,72 @@ use schedulers::common::SystemResult;
 use simcore::time::SimDuration;
 use std::collections::HashSet;
 
+/// A fixed-capacity bitset over trace indices.
+///
+/// The runtime tags every request it predicts will violate its SLO. On the
+/// hot path that tag used to be a `HashSet<usize>` insert — an allocating,
+/// hashing operation per staged descriptor. Trace indices are dense in
+/// `0..trace_len`, so a word-packed bitset sized once up front gives O(1)
+/// insert/contains with zero steady-state allocations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictedSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PredictedSet {
+    /// Creates a set able to hold indices `0..capacity` without allocating
+    /// again.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PredictedSet {
+            words: vec![0u64; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts `idx`, growing if it exceeds the initial capacity (growth only
+    /// happens off the pinned-budget path). Returns `true` if newly inserted.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let (word, bit) = (idx / 64, idx % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        if fresh {
+            self.words[word] |= mask;
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Whether `idx` has been inserted.
+    pub fn contains(&self, idx: usize) -> bool {
+        let (word, bit) = (idx / 64, idx % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of distinct indices inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no index has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FromIterator<usize> for PredictedSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = PredictedSet::default();
+        for idx in iter {
+            s.insert(idx);
+        }
+        s
+    }
+}
+
 /// Per-category counts of migrated requests (Fig. 12(b)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EffectivenessBreakdown {
@@ -91,7 +157,7 @@ pub fn classify_effectiveness(
 /// request would indeed have violated without intervention.
 pub fn prediction_accuracy(
     baseline: &SystemResult,
-    predicted: &HashSet<usize>,
+    predicted: &PredictedSet,
     trace_len: usize,
     slo: SimDuration,
 ) -> f64 {
@@ -102,7 +168,7 @@ pub fn prediction_accuracy(
         let Some(l) = l else { continue };
         if *l > slo {
             actual += 1;
-            if predicted.contains(&idx) {
+            if predicted.contains(idx) {
                 caught += 1;
             }
         }
@@ -120,7 +186,7 @@ pub fn prediction_accuracy(
 /// trajectory.
 pub fn prediction_accuracy_self(
     result: &SystemResult,
-    predicted: &HashSet<usize>,
+    predicted: &PredictedSet,
     trace_len: usize,
     slo: SimDuration,
 ) -> f64 {
@@ -197,7 +263,7 @@ mod tests {
         let slo = SimDuration::from_ns(100);
         // Violations in baseline: idx 0, 2, 4. Predicted: 0, 2, 3.
         let base = result_with(&[150, 50, 150, 50, 150]);
-        let predicted: HashSet<usize> = [0, 2, 3].into_iter().collect();
+        let predicted: PredictedSet = [0, 2, 3].into_iter().collect();
         let acc = prediction_accuracy(&base, &predicted, 5, slo);
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -205,7 +271,7 @@ mod tests {
     #[test]
     fn accuracy_without_violations_is_one() {
         let base = result_with(&[10, 20, 30]);
-        let acc = prediction_accuracy(&base, &HashSet::new(), 3, SimDuration::from_us(1));
+        let acc = prediction_accuracy(&base, &PredictedSet::default(), 3, SimDuration::from_us(1));
         assert_eq!(acc, 1.0);
     }
 
@@ -217,6 +283,23 @@ mod tests {
         let (saved, harmed) = fate_changes(&base, &with, 4, slo);
         assert_eq!(saved, 1);
         assert_eq!(harmed, 1);
+    }
+
+    #[test]
+    fn predicted_set_semantics() {
+        let mut s = PredictedSet::with_capacity(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(63), "duplicate insert must report false");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64));
+        assert!(!s.contains(1) && !s.contains(1000));
+        // Growth past the initial capacity still works (off the hot path).
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert_eq!(s.len(), 4);
     }
 
     #[test]

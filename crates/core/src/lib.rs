@@ -56,7 +56,9 @@ pub mod runtime;
 pub mod system;
 pub mod tenancy;
 
-pub use accounting::{classify_effectiveness, prediction_accuracy, EffectivenessBreakdown};
+pub use accounting::{
+    classify_effectiveness, prediction_accuracy, EffectivenessBreakdown, PredictedSet,
+};
 pub use config::{AcConfig, Attachment};
 pub use hw::interface::Interface;
 pub use runtime::predictor::ThresholdPolicy;

@@ -9,5 +9,8 @@
 pub mod patterns;
 pub mod predictor;
 
-pub use patterns::{classify, guard_allows, plan_migrations, MigrationOrder, Pattern};
+pub use patterns::{
+    classify, guard_allows, plan_migrations, plan_migrations_into, MigrationOrder, Pattern,
+    PlanScratch,
+};
 pub use predictor::{LoadEstimator, ThresholdPolicy};

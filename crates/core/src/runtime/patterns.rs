@@ -52,11 +52,18 @@ impl Pattern {
 /// assert_eq!(classify(&[30, 31, 32, 33], 40), None);
 /// ```
 pub fn classify(q: &[u32], bulk: usize) -> Option<Pattern> {
+    classify_with(q, bulk, &mut Vec::new())
+}
+
+/// [`classify`] with a caller-owned scratch buffer for the sorted queue
+/// snapshot, so per-tick callers don't allocate.
+fn classify_with(q: &[u32], bulk: usize, sorted: &mut Vec<u32>) -> Option<Pattern> {
     if q.len() < 2 {
         return None;
     }
     let bulk = bulk as u32;
-    let mut sorted: Vec<u32> = q.to_vec();
+    sorted.clear();
+    sorted.extend_from_slice(q);
     sorted.sort_unstable();
     let n = sorted.len();
     let (min, min2) = (sorted[0], sorted[1]);
@@ -83,6 +90,15 @@ pub struct MigrationOrder {
     pub count: usize,
 }
 
+/// Reusable planner scratch space: the rank vector and the sorted snapshot
+/// used by [`classify`]. One instance per manager lets every tick plan with
+/// zero allocations once the buffers reach steady capacity.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    by_len: Vec<usize>,
+    sorted: Vec<u32>,
+}
+
 /// Plans this period's MIGRATE messages for manager `me` (paper Algorithm 1
 /// lines 4–13).
 ///
@@ -98,7 +114,17 @@ pub fn plan_migrations(
     bulk: usize,
     concurrency: usize,
 ) -> Vec<MigrationOrder> {
-    plan_with_patterns(me, q, threshold, bulk, concurrency, true)
+    let mut orders = Vec::new();
+    plan_migrations_into(
+        me,
+        q,
+        threshold,
+        bulk,
+        concurrency,
+        &mut PlanScratch::default(),
+        &mut orders,
+    );
+    orders
 }
 
 /// Ablation variant of [`plan_migrations`]: only the threshold trigger, no
@@ -110,9 +136,49 @@ pub fn plan_threshold_only(
     bulk: usize,
     concurrency: usize,
 ) -> Vec<MigrationOrder> {
-    plan_with_patterns(me, q, threshold, bulk, concurrency, false)
+    let mut orders = Vec::new();
+    plan_threshold_only_into(
+        me,
+        q,
+        threshold,
+        bulk,
+        concurrency,
+        &mut PlanScratch::default(),
+        &mut orders,
+    );
+    orders
 }
 
+/// Allocation-free form of [`plan_migrations`]: clears `orders` and fills it
+/// with this period's plan, reusing `scratch` across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_migrations_into(
+    me: usize,
+    q: &[u32],
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+    scratch: &mut PlanScratch,
+    orders: &mut Vec<MigrationOrder>,
+) {
+    plan_with_patterns(me, q, threshold, bulk, concurrency, true, scratch, orders)
+}
+
+/// Allocation-free form of [`plan_threshold_only`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_threshold_only_into(
+    me: usize,
+    q: &[u32],
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+    scratch: &mut PlanScratch,
+    orders: &mut Vec<MigrationOrder>,
+) {
+    plan_with_patterns(me, q, threshold, bulk, concurrency, false, scratch, orders)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn plan_with_patterns(
     me: usize,
     q: &[u32],
@@ -120,22 +186,27 @@ fn plan_with_patterns(
     bulk: usize,
     concurrency: usize,
     use_patterns: bool,
-) -> Vec<MigrationOrder> {
+    scratch: &mut PlanScratch,
+    orders: &mut Vec<MigrationOrder>,
+) {
     assert!(me < q.len(), "manager index out of range");
     assert!(bulk > 0 && concurrency > 0);
+    orders.clear();
     if q.len() < 2 {
-        return Vec::new();
+        return;
     }
     let s = (bulk / concurrency).max(1);
     let my_len = q[me] as usize;
 
     // Rank managers by queue length (stable by index for determinism).
-    let mut by_len: Vec<usize> = (0..q.len()).collect();
-    by_len.sort_by_key(|&i| (q[i], i));
+    let by_len = &mut scratch.by_len;
+    by_len.clear();
+    by_len.extend(0..q.len());
+    // The key (len, index) is a total order, so unstable sort (which never
+    // allocates) produces the same deterministic ranking as a stable one.
+    by_len.sort_unstable_by_key(|&i| (q[i], i));
     let shortest = by_len[0];
     let longest = *by_len.last().expect("non-empty q");
-
-    let mut orders: Vec<MigrationOrder> = Vec::new();
 
     // Threshold trigger: queue beyond T is predicted to violate; spray the
     // excess over the `concurrency` least-loaded other managers.
@@ -153,7 +224,7 @@ fn plan_with_patterns(
 
     // Pattern trigger.
     match if use_patterns {
-        classify(q, bulk)
+        classify_with(q, bulk, &mut scratch.sorted)
     } else {
         None
     } {
@@ -186,8 +257,10 @@ fn plan_with_patterns(
         _ => {}
     }
 
-    // Deduplicate by destination, keeping the larger count.
-    orders.sort_by_key(|o| o.dst);
+    // Deduplicate by destination, keeping the larger count. Unstable sort is
+    // fine (and allocation-free): entries sharing a dst merge to the max
+    // count regardless of their relative order.
+    orders.sort_unstable_by_key(|o| o.dst);
     orders.dedup_by(|a, b| {
         if a.dst == b.dst {
             b.count = b.count.max(a.count);
@@ -196,7 +269,6 @@ fn plan_with_patterns(
             false
         }
     });
-    orders
 }
 
 /// The per-message migration guard (Algorithm 1 line 8): forbid a migration

@@ -7,19 +7,22 @@
 //! [`schedulers::common::RpcSystem`], so it can be compared head-to-head
 //! with every baseline on identical traces.
 
+use crate::accounting::PredictedSet;
 use crate::config::{AcConfig, Attachment};
 use crate::hw::messages::{Descriptor, Message};
-use crate::runtime::patterns::{guard_allows, plan_migrations, plan_threshold_only};
+use crate::runtime::patterns::{
+    guard_allows, plan_migrations_into, plan_threshold_only_into, MigrationOrder, PlanScratch,
+};
 use crate::runtime::predictor::LoadEstimator;
 use interconnect::noc::MeshNoc;
 use interconnect::offchip::MemoryModel;
 use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Transfer};
 use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
-use simcore::event::{run, EventQueue, World};
+use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
 
@@ -42,7 +45,7 @@ pub struct MigrationStats {
     pub guard_blocked: u64,
     /// Trace indices of requests the predictor selected as likely SLO
     /// violators (whether or not the migration succeeded).
-    pub predicted: HashSet<usize>,
+    pub predicted: PredictedSet,
 }
 
 /// Result of an Altocumulus run: the standard [`SystemResult`] plus
@@ -53,6 +56,8 @@ pub struct AcResult {
     pub system: SystemResult,
     /// Migration machinery counters.
     pub stats: MigrationStats,
+    /// Event-loop accounting (events processed, peak queue population).
+    pub summary: RunSummary,
 }
 
 /// The simulated Altocumulus system.
@@ -79,6 +84,12 @@ impl Altocumulus {
 
     /// Runs the full simulation, returning latency results plus migration
     /// statistics.
+    ///
+    /// Arrivals are injected *lazily* in chunks as virtual time advances
+    /// (see [`StreamInjector`]): the event queue holds O(in-flight) events
+    /// instead of the whole trace. Seqs for all arrivals are reserved up
+    /// front in trace order, so the pop order — and therefore every result
+    /// byte — is identical to the old upfront pre-push.
     pub fn run_detailed(&mut self, trace: &Trace) -> AcResult {
         let cfg = &self.cfg;
         let nic = NicModel::default();
@@ -89,25 +100,43 @@ impl Altocumulus {
         let mut steering = cfg.steering.clone();
         let mut nic_rng: StdRng = stream_rng(cfg.seed, streams::NIC);
 
-        let mut queue = EventQueue::with_capacity(trace.len() * 4);
-        for (idx, req) in trace.iter().enumerate() {
-            // With tenancy, a connection's requests only reach its tenant's
-            // groups; otherwise the NIC hashes across all NetRX queues.
-            let g = match &cfg.tenancy {
-                Some(t) => {
-                    let owned = t.groups_of(t.tenant_of_conn(req.conn));
-                    owned[steering.steer(req.conn, owned.len(), &mut nic_rng)]
-                }
-                None => steering.steer(req.conn, cfg.groups, &mut nic_rng),
-            };
-            let deliver = req.arrival + nic.mac_delay + attach_transfer.latency(req.size_bytes);
-            queue.push(deliver, Ev::Enqueue(g, idx));
-        }
+        let mut queue = EventQueue::new();
+        let base_seq = queue.reserve_seqs(trace.len() as u64);
         if cfg.migration_enabled && cfg.groups > 1 {
             for g in 0..cfg.groups {
                 queue.push(SimTime::ZERO + cfg.period, Ev::Tick(g));
             }
         }
+
+        // With tenancy, a connection's requests only reach its tenant's
+        // groups; otherwise the NIC hashes across all NetRX queues. The
+        // per-tenant group lists are computed once, not per arrival.
+        let tenant_groups: Vec<Vec<usize>> = match &cfg.tenancy {
+            Some(t) => (0..t.tenants()).map(|tn| t.groups_of(tn)).collect(),
+            None => Vec::new(),
+        };
+        let requests = trace.requests();
+        let mac_delay = nic.mac_delay;
+        let mut source = StreamInjector::new(
+            trace.len(),
+            base_seq,
+            // The trace is sorted by arrival (enforced by `Trace::new`) and
+            // the transfer latency is non-negative, so this lower bound is
+            // non-decreasing and never exceeds the actual delivery time.
+            |i: usize| requests[i].arrival + mac_delay,
+            |i: usize| {
+                let req = &requests[i];
+                let g = match &cfg.tenancy {
+                    Some(t) => {
+                        let owned = &tenant_groups[t.tenant_of_conn(req.conn) as usize];
+                        owned[steering.steer(req.conn, owned.len(), &mut nic_rng)]
+                    }
+                    None => steering.steer(req.conn, cfg.groups, &mut nic_rng),
+                };
+                let deliver = req.arrival + mac_delay + attach_transfer.latency(req.size_bytes);
+                (deliver, Ev::Enqueue(g, i))
+            },
+        );
 
         let mem = MemoryModel::default();
         let groups = (0..cfg.groups)
@@ -125,10 +154,27 @@ impl Altocumulus {
                 arrivals_since_tick: 0,
             })
             .collect();
+        let topo = (0..cfg.groups)
+            .map(|g| {
+                let peers: Vec<usize> = match &cfg.tenancy {
+                    Some(t) => t.groups_of(t.tenant_of_group(g)),
+                    None => (0..cfg.groups).collect(),
+                };
+                let me_local = peers
+                    .iter()
+                    .position(|&j| j == g)
+                    .expect("a group is always its own peer");
+                GroupTopo {
+                    peers,
+                    me_local,
+                    tile: g * cfg.group_size,
+                }
+            })
+            .collect();
 
         let mut world = AcWorld {
             trace,
-            cfg: cfg.clone(),
+            cfg,
             noc: MeshNoc::new_square(cfg.total_cores() as u32),
             dispatch_op: mem.remote_cache, // 70 cycles per manager dispatch op
             intra_transfer: match cfg.attachment {
@@ -136,16 +182,22 @@ impl Altocumulus {
                 Attachment::RssPcie => Transfer::coherent(),
             },
             groups,
+            topo,
+            scratch: TickScratch::default(),
             completed: 0,
             last_completed_at_tick: 0,
             stalled_ticks: 0,
-            stats: MigrationStats::default(),
+            stats: MigrationStats {
+                predicted: PredictedSet::with_capacity(trace.len()),
+                ..MigrationStats::default()
+            },
             result: SystemResult::with_capacity(trace.len()),
         };
-        run(&mut world, &mut queue, SimTime::MAX);
+        let summary = run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         AcResult {
             system: world.result,
             stats: world.stats,
+            summary,
         }
     }
 }
@@ -198,24 +250,95 @@ struct Group {
 }
 
 impl Group {
-    fn occupancy(&self, w: usize) -> usize {
-        self.running[w].iter().count() + self.waiting[w].len() + self.in_flight[w]
-    }
-
+    /// Least-loaded worker with occupancy below `bound`.
+    ///
+    /// Each worker's occupancy (`running + waiting + in_flight`) is computed
+    /// exactly once; ties keep the lowest-index worker, matching the
+    /// first-minimal semantics of `min_by_key`.
     fn free_worker(&self, bound: usize) -> Option<usize> {
-        (0..self.running.len())
-            .filter(|&w| self.occupancy(w) < bound)
-            .min_by_key(|&w| self.occupancy(w))
+        let mut best: Option<(usize, usize)> = None; // (occupancy, worker)
+        for w in 0..self.running.len() {
+            let occ =
+                self.running[w].is_some() as usize + self.waiting[w].len() + self.in_flight[w];
+            if occ < bound && best.is_none_or(|(b, _)| occ < b) {
+                best = Some((occ, w));
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+}
+
+/// Per-group constants computed once at world construction so the periodic
+/// runtime never rebuilds peer lists or recomputes tile ids.
+struct GroupTopo {
+    /// Managers this group exchanges UPDATE/MIGRATE with (its tenant's
+    /// partition, or every group without tenancy). Includes the group itself.
+    peers: Vec<usize>,
+    /// This group's index within `peers`.
+    me_local: usize,
+    /// Mesh tile of the group's manager core.
+    tile: usize,
+}
+
+/// Reusable buffers for [`AcWorld::runtime_tick`]. Ticks run one at a time,
+/// so a single set shared by all groups suffices; after warmup every tick
+/// works entirely inside these capacities and allocates nothing.
+#[derive(Default)]
+struct TickScratch {
+    /// Snapshot of the manager's `q` vector for this tick.
+    q_view: Vec<u32>,
+    /// `q_view` projected onto the tenant-local peer list.
+    local_q: Vec<u32>,
+    /// This tick's migration plan.
+    orders: Vec<MigrationOrder>,
+    /// Descriptors staged from the NetRX tail for one MIGRATE message.
+    staged: Vec<Descriptor>,
+    /// Already-migrated entries temporarily popped while staging.
+    skipped: Vec<QueuedRequest>,
+    /// Planner-internal rank/sort buffers.
+    plan: PlanScratch,
+}
+
+/// Pops up to `count` not-yet-migrated requests from the *tail* of `netrx`
+/// (the paper migrates from Tail) into `staged`, skipping — and restoring in
+/// place — entries that already migrated once.
+fn stage_from_tail(
+    netrx: &mut VecDeque<QueuedRequest>,
+    trace: &Trace,
+    count: usize,
+    staged: &mut Vec<Descriptor>,
+    skipped: &mut Vec<QueuedRequest>,
+) {
+    staged.clear();
+    skipped.clear();
+    while staged.len() < count {
+        let Some(qr) = netrx.pop_back() else { break };
+        if qr.migrated {
+            skipped.push(qr);
+        } else {
+            staged.push(Descriptor {
+                id: trace.requests()[qr.idx].id,
+                trace_idx: qr.idx,
+                first_enqueued: qr.enqueued,
+            });
+        }
+    }
+    // `skipped` holds the passed-over entries tail-first; pushing them back
+    // in reverse restores their original relative order.
+    while let Some(qr) = skipped.pop() {
+        netrx.push_back(qr);
     }
 }
 
 struct AcWorld<'t> {
     trace: &'t Trace,
-    cfg: AcConfig,
+    cfg: &'t AcConfig,
     noc: MeshNoc,
     dispatch_op: SimDuration,
     intra_transfer: Transfer,
     groups: Vec<Group>,
+    topo: Vec<GroupTopo>,
+    scratch: TickScratch,
     completed: usize,
     last_completed_at_tick: usize,
     stalled_ticks: u64,
@@ -304,30 +427,9 @@ impl AcWorld<'_> {
         q.push(now + qr.remaining, Ev::WorkerDone(g, w));
     }
 
-    /// Pops up to `count` not-yet-migrated requests from the *tail* of
-    /// `g`'s NetRX queue (the paper migrates from Tail).
-    fn stage_from_tail(&mut self, g: usize, count: usize) -> Vec<Descriptor> {
-        let netrx = &mut self.groups[g].netrx;
-        let mut staged = Vec::with_capacity(count);
-        let mut i = netrx.len();
-        while i > 0 && staged.len() < count {
-            i -= 1;
-            if !netrx[i].migrated {
-                let qr = netrx.remove(i).expect("index in range");
-                staged.push(Descriptor {
-                    id: self.trace.requests()[qr.idx].id,
-                    trace_idx: qr.idx,
-                    first_enqueued: qr.enqueued,
-                });
-            }
-        }
-        staged
-    }
-
     fn runtime_tick(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         self.stats.ticks += 1;
-        let cfg = self.cfg.clone();
-        let n = cfg.groups;
+        let cfg = self.cfg;
 
         // 1. Refresh the load estimate from the arrival counter.
         let arrivals = self.groups[g].arrivals_since_tick;
@@ -349,27 +451,27 @@ impl AcWorld<'_> {
         }
 
         // 4. Snapshot q: own queue live, remote from UPDATE-fed PR view.
-        let mut q_view: Vec<u32> = (0..n).map(|j| self.groups[g].q_view[j]).collect();
-        q_view[g] = self.groups[g].netrx.len() as u32;
-        self.groups[g].q_view[g] = q_view[g];
+        let own_len = self.groups[g].netrx.len() as u32;
+        self.groups[g].q_view[g] = own_len;
+        let q_view = &mut self.scratch.q_view;
+        q_view.clear();
+        q_view.extend_from_slice(&self.groups[g].q_view);
 
         // Under tenancy, UPDATE and MIGRATE stay within the tenant's
-        // partition of groups; otherwise every manager is a peer.
-        let peers: Vec<usize> = match &cfg.tenancy {
-            Some(t) => t.groups_of(t.tenant_of_group(g)),
-            None => (0..n).collect(),
-        };
+        // partition of groups; otherwise every manager is a peer. The peer
+        // list and tile ids are precomputed in `topo`.
+        let peers = &self.topo[g].peers;
 
         // 5. Broadcast UPDATE to every other (peer) manager.
-        let src_tile = self.mgr_tile(g);
+        let src_tile = self.topo[g].tile;
         for (i, dst) in peers.iter().copied().filter(|&j| j != g).enumerate() {
             let msg = Message::Update {
                 src: g,
-                queue_len: q_view[g],
+                queue_len: own_len,
             };
             let lat = self
                 .noc
-                .latency(src_tile, self.mgr_tile(dst), msg.wire_bytes());
+                .latency(src_tile, self.topo[dst].tile, msg.wire_bytes());
             // Consecutive injections serialize at the port (~3ns each).
             let stagger = SimDuration::from_ns(3) * i as u64;
             q.push(send_time + lat + stagger, Ev::Msg(dst, msg));
@@ -392,24 +494,36 @@ impl AcWorld<'_> {
         }
 
         // 6. Plan and issue MIGRATE messages over the tenant-local view.
-        let local_q: Vec<u32> = peers.iter().map(|&j| q_view[j]).collect();
-        let me_local = peers
-            .iter()
-            .position(|&j| j == g)
-            .expect("a group is always its own peer");
-        let mut orders = match cfg.patterns {
-            crate::config::PatternPolicy::All => {
-                plan_migrations(me_local, &local_q, threshold, cfg.bulk, cfg.concurrency)
-            }
-            crate::config::PatternPolicy::ThresholdOnly => {
-                plan_threshold_only(me_local, &local_q, threshold, cfg.bulk, cfg.concurrency)
-            }
-        };
+        let local_q = &mut self.scratch.local_q;
+        local_q.clear();
+        local_q.extend(peers.iter().map(|&j| q_view[j]));
+        let me_local = self.topo[g].me_local;
+        let orders = &mut self.scratch.orders;
+        match cfg.patterns {
+            crate::config::PatternPolicy::All => plan_migrations_into(
+                me_local,
+                local_q,
+                threshold,
+                cfg.bulk,
+                cfg.concurrency,
+                &mut self.scratch.plan,
+                orders,
+            ),
+            crate::config::PatternPolicy::ThresholdOnly => plan_threshold_only_into(
+                me_local,
+                local_q,
+                threshold,
+                cfg.bulk,
+                cfg.concurrency,
+                &mut self.scratch.plan,
+                orders,
+            ),
+        }
         // Map local destination indices back to global group ids.
-        for o in &mut orders {
+        for o in orders.iter_mut() {
             o.dst = peers[o.dst];
         }
-        for (i, order) in orders.iter().enumerate() {
+        for (i, order) in self.scratch.orders.iter().enumerate() {
             if cfg.guard_enabled && !guard_allows(q_view[g], q_view[order.dst], order.count) {
                 self.stats.guard_blocked += 1;
                 continue;
@@ -417,14 +531,23 @@ impl AcWorld<'_> {
             if self.groups[g].send_inflight >= 16 {
                 break; // send FIFO full
             }
-            let descriptors = self.stage_from_tail(g, order.count);
-            if descriptors.is_empty() {
+            stage_from_tail(
+                &mut self.groups[g].netrx,
+                self.trace,
+                order.count,
+                &mut self.scratch.staged,
+                &mut self.scratch.skipped,
+            );
+            if self.scratch.staged.is_empty() {
                 continue;
             }
-            q_view[g] = q_view[g].saturating_sub(descriptors.len() as u32);
-            for d in &descriptors {
+            q_view[g] = q_view[g].saturating_sub(self.scratch.staged.len() as u32);
+            for d in &self.scratch.staged {
                 self.stats.predicted.insert(d.trace_idx);
             }
+            // The message owns its descriptor payload; `take` hands the
+            // buffer over, so only actual MIGRATE sends (rare) allocate.
+            let descriptors = std::mem::take(&mut self.scratch.staged);
             let msg = Message::Migrate {
                 src: g,
                 dst: order.dst,
@@ -432,7 +555,7 @@ impl AcWorld<'_> {
             };
             let lat = self
                 .noc
-                .latency(src_tile, self.mgr_tile(order.dst), msg.wire_bytes());
+                .latency(src_tile, self.topo[order.dst].tile, msg.wire_bytes());
             let stagger = SimDuration::from_ns(3) * i as u64;
             self.groups[g].send_inflight += 1;
             self.stats.migrate_messages += 1;
@@ -826,6 +949,132 @@ mod tests {
             victim_worst < SimDuration::from_us(3),
             "isolated tenant's worst latency {victim_worst} polluted by the noisy neighbor"
         );
+    }
+
+    fn staging_trace(n: usize) -> Trace {
+        use workload::request::{ConnectionId, Request, RequestId};
+        let reqs = (0..n)
+            .map(|i| Request {
+                id: RequestId(i as u64),
+                arrival: SimTime::from_ns(i as u64 * 10),
+                service: SimDuration::from_ns(100),
+                kind: workload::request::RequestKind::Generic,
+                conn: ConnectionId(0),
+                size_bytes: 64,
+            })
+            .collect();
+        Trace::new(reqs)
+    }
+
+    fn qr(idx: usize, migrated: bool) -> QueuedRequest {
+        let mut q =
+            QueuedRequest::new(idx, SimDuration::from_ns(100), SimTime::from_ns(idx as u64));
+        q.migrated = migrated;
+        q
+    }
+
+    fn stage(netrx: &mut VecDeque<QueuedRequest>, trace: &Trace, count: usize) -> Vec<Descriptor> {
+        let mut staged = Vec::new();
+        let mut skipped = Vec::new();
+        stage_from_tail(netrx, trace, count, &mut staged, &mut skipped);
+        assert!(skipped.is_empty(), "skipped buffer must be drained back");
+        staged
+    }
+
+    #[test]
+    fn stage_from_tail_takes_tail_first() {
+        let t = staging_trace(4);
+        let mut netrx: VecDeque<_> = (0..4).map(|i| qr(i, false)).collect();
+        let staged = stage(&mut netrx, &t, 2);
+        assert_eq!(
+            staged.iter().map(|d| d.trace_idx).collect::<Vec<_>>(),
+            vec![3, 2],
+            "staging walks the queue from the tail"
+        );
+        assert_eq!(
+            netrx.iter().map(|q| q.idx).collect::<Vec<_>>(),
+            vec![0, 1],
+            "the head of the queue is untouched"
+        );
+    }
+
+    #[test]
+    fn stage_from_tail_skips_migrated_and_preserves_order() {
+        let t = staging_trace(5);
+        // head -> tail: 0, 1(migrated), 2(migrated), 3, 4
+        let mut netrx: VecDeque<_> = [
+            qr(0, false),
+            qr(1, true),
+            qr(2, true),
+            qr(3, false),
+            qr(4, false),
+        ]
+        .into_iter()
+        .collect();
+        let staged = stage(&mut netrx, &t, 3);
+        assert_eq!(
+            staged.iter().map(|d| d.trace_idx).collect::<Vec<_>>(),
+            vec![4, 3, 0],
+            "already-migrated entries are never re-staged"
+        );
+        assert_eq!(
+            netrx.iter().map(|q| q.idx).collect::<Vec<_>>(),
+            vec![1, 2],
+            "skipped entries keep their relative order"
+        );
+        assert!(netrx.iter().all(|q| q.migrated));
+    }
+
+    #[test]
+    fn stage_from_tail_caps_at_count() {
+        let t = staging_trace(6);
+        let mut netrx: VecDeque<_> = (0..6).map(|i| qr(i, false)).collect();
+        let staged = stage(&mut netrx, &t, 2);
+        assert_eq!(staged.len(), 2);
+        assert_eq!(netrx.len(), 4);
+        // Entries beyond the cap — including migrated ones nearer the head —
+        // are left exactly where they were.
+        assert_eq!(
+            netrx.iter().map(|q| q.idx).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn stage_from_tail_drains_short_queue() {
+        let t = staging_trace(3);
+        let mut netrx: VecDeque<_> = [qr(0, true), qr(1, false)].into_iter().collect();
+        let staged = stage(&mut netrx, &t, 10);
+        assert_eq!(
+            staged.iter().map(|d| d.trace_idx).collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            netrx.iter().map(|q| q.idx).collect::<Vec<_>>(),
+            vec![0],
+            "migrated entry survives a full drain"
+        );
+        assert!(stage(&mut netrx, &t, 10).is_empty());
+        let descriptors = stage(&mut VecDeque::new(), &t, 4);
+        assert!(descriptors.is_empty());
+    }
+
+    #[test]
+    fn streaming_keeps_event_queue_small() {
+        // Tentpole acceptance: peak event-queue population is O(in-flight),
+        // not O(trace).
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.6, 64, 20_000, 256);
+        let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean()));
+        let r = ac.run_detailed(&t);
+        assert_eq!(r.system.completions.len(), 20_000);
+        assert!(
+            r.summary.peak_queue < 8_000,
+            "peak queue {} should stay far below the {}-event trace",
+            r.summary.peak_queue,
+            t.len()
+        );
+        assert!(r.summary.events > 40_000, "events: {}", r.summary.events);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Steady-state allocation budget for the full Altocumulus hot path.
+//!
+//! A warmed-up run is compared against a longer run of the same
+//! configuration: the allocation *delta per extra event* must be pinned
+//! near zero. The tolerance (well under 1/100 events) covers the only
+//! remaining sanctioned sources — log-amortized growth of result/histogram
+//! storage and the owned descriptor payload of rare MIGRATE sends — while
+//! failing loudly if any per-event allocation (queue snapshots, per-tick
+//! clones, planner buffers) sneaks back into the loop.
+//!
+//! Single `#[test]` on purpose: the global counter is process-wide and
+//! sibling tests on other threads would pollute the deltas.
+
+use altocumulus::{AcConfig, Altocumulus};
+use simcore::alloc::CountingAlloc;
+use simcore::time::SimDuration;
+use workload::arrival::PoissonProcess;
+use workload::dist::ServiceDistribution;
+use workload::trace::{Trace, TraceBuilder};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn trace(n: usize) -> Trace {
+    let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+    let rate = PoissonProcess::rate_for_load(0.6, 64, dist.mean());
+    TraceBuilder::new(PoissonProcess::new(rate), dist)
+        .requests(n)
+        .connections(256)
+        .seed(1)
+        .build()
+}
+
+fn run(trace: &Trace) -> (u64, u64) {
+    let mean = SimDuration::from_ns(850);
+    let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, mean));
+    let before = ALLOC.allocations();
+    let r = ac.run_detailed(trace);
+    assert_eq!(r.system.completions.len(), trace.len());
+    (ALLOC.allocations() - before, r.summary.events)
+}
+
+#[test]
+fn altocumulus_steady_state_allocations_pinned() {
+    let small_trace = trace(20_000);
+    let big_trace = trace(60_000);
+
+    // Warmup run so one-time lazy initialization is off the books.
+    let _ = run(&small_trace);
+
+    let (allocs_small, events_small) = run(&small_trace);
+    let (allocs_big, events_big) = run(&big_trace);
+
+    assert!(events_big > events_small, "bigger trace, more events");
+    let extra_events = events_big - events_small;
+    let extra_allocs = allocs_big.saturating_sub(allocs_small);
+    let per_event = extra_allocs as f64 / extra_events as f64;
+    assert!(
+        per_event < 0.01,
+        "steady-state allocation rate {per_event:.4}/event \
+         ({extra_allocs} extra allocations over {extra_events} extra events)"
+    );
+}

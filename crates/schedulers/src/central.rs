@@ -12,7 +12,7 @@
 use crate::common::{QueuedRequest, RpcSystem, SystemResult};
 use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
-use simcore::event::{run, EventQueue, World};
+use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -185,12 +185,24 @@ impl RpcSystem for CentralDispatch {
     }
 
     fn run(&mut self, trace: &Trace) -> SystemResult {
-        let mut queue = EventQueue::with_capacity(trace.len() * 3);
-        for (idx, req) in trace.iter().enumerate() {
-            let deliver =
-                req.arrival + self.cfg.nic.mac_delay + self.cfg.transfer.latency(req.size_bytes);
-            queue.push(deliver, Ev::Enqueue(idx));
-        }
+        // Arrivals stream into the queue in chunks as time advances; seqs
+        // reserved in trace order keep the pop order byte-identical to an
+        // upfront pre-push while the queue stays O(in-flight).
+        let mut queue = EventQueue::new();
+        let base_seq = queue.reserve_seqs(trace.len() as u64);
+        let requests = trace.requests();
+        let mac_delay = self.cfg.nic.mac_delay;
+        let transfer = self.cfg.transfer;
+        let mut source = StreamInjector::new(
+            trace.len(),
+            base_seq,
+            |i: usize| requests[i].arrival + mac_delay,
+            |i: usize| {
+                let req = &requests[i];
+                let deliver = req.arrival + mac_delay + transfer.latency(req.size_bytes);
+                (deliver, Ev::Enqueue(i))
+            },
+        );
         let mut world = CentralWorld {
             trace,
             cfg: self.cfg.clone(),
@@ -199,7 +211,7 @@ impl RpcSystem for CentralDispatch {
             dispatcher_free_at: SimTime::ZERO,
             result: SystemResult::with_capacity(trace.len()),
         };
-        run(&mut world, &mut queue, SimTime::MAX);
+        run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.result
     }
 }

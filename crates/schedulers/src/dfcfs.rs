@@ -10,7 +10,7 @@ use crate::common::{on_core_cost, QueuedRequest, RpcSystem, SystemResult};
 use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Steering, Transfer};
 use rpcstack::stack::StackModel;
-use simcore::event::{run, EventQueue, World};
+use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -144,13 +144,26 @@ impl RpcSystem for DFcfs {
     fn run(&mut self, trace: &Trace) -> SystemResult {
         let mut steering = self.cfg.steering.clone();
         let mut rng: StdRng = stream_rng(self.cfg.seed, streams::NIC);
-        let mut queue = EventQueue::with_capacity(trace.len() * 2);
-        for (idx, req) in trace.iter().enumerate() {
-            let core = steering.steer(req.conn, self.cfg.cores, &mut rng);
-            let deliver =
-                req.arrival + self.cfg.nic.mac_delay + self.cfg.transfer.latency(req.size_bytes);
-            queue.push(deliver, Ev::Enqueue(idx, core));
-        }
+        // Streamed arrivals: seqs reserved in trace order keep pop order —
+        // and the per-arrival steering RNG draws — identical to the old
+        // upfront pre-push, with an O(in-flight) queue.
+        let mut queue = EventQueue::new();
+        let base_seq = queue.reserve_seqs(trace.len() as u64);
+        let requests = trace.requests();
+        let mac_delay = self.cfg.nic.mac_delay;
+        let transfer = self.cfg.transfer;
+        let cores = self.cfg.cores;
+        let mut source = StreamInjector::new(
+            trace.len(),
+            base_seq,
+            |i: usize| requests[i].arrival + mac_delay,
+            |i: usize| {
+                let req = &requests[i];
+                let core = steering.steer(req.conn, cores, &mut rng);
+                let deliver = req.arrival + mac_delay + transfer.latency(req.size_bytes);
+                (deliver, Ev::Enqueue(i, core))
+            },
+        );
         let mut world = DFcfsWorld {
             trace,
             cfg: self.cfg.clone(),
@@ -158,7 +171,7 @@ impl RpcSystem for DFcfs {
             in_service: vec![None; self.cfg.cores],
             result: SystemResult::with_capacity(trace.len()),
         };
-        run(&mut world, &mut queue, SimTime::MAX);
+        run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.result
     }
 }

@@ -10,7 +10,7 @@
 //!   the characterization from which the threshold model is calibrated.
 
 use crate::common::{QueuedRequest, RpcSystem, SystemResult};
-use simcore::event::{run, EventQueue, World};
+use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -117,10 +117,17 @@ impl CentralQueue {
 
     /// Runs with queue-length instrumentation.
     pub fn run_instrumented(&mut self, trace: &Trace) -> InstrumentedResult {
-        let mut queue = EventQueue::with_capacity(trace.len() * 2);
-        for (idx, req) in trace.iter().enumerate() {
-            queue.push(req.arrival, Ev::Arrival(idx));
-        }
+        // Streamed arrivals: reserved seqs keep pop order identical to the
+        // old upfront pre-push while the queue stays O(in-flight).
+        let mut queue = EventQueue::new();
+        let base_seq = queue.reserve_seqs(trace.len() as u64);
+        let requests = trace.requests();
+        let mut source = StreamInjector::new(
+            trace.len(),
+            base_seq,
+            |i: usize| requests[i].arrival,
+            |i: usize| (requests[i].arrival, Ev::Arrival(i)),
+        );
         let mut world = CqWorld {
             trace,
             cfg: self.cfg,
@@ -129,7 +136,7 @@ impl CentralQueue {
             arrival_queue_len: vec![0; trace.len()],
             result: SystemResult::with_capacity(trace.len()),
         };
-        run(&mut world, &mut queue, SimTime::MAX);
+        run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         InstrumentedResult {
             system: world.result,
             arrival_queue_len: world.arrival_queue_len,

@@ -18,7 +18,7 @@
 use crate::common::{QueuedRequest, RpcSystem, SystemResult};
 use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
-use simcore::event::{run, EventQueue, World};
+use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -272,18 +272,26 @@ impl RpcSystem for Jbsq {
         let domains = n.div_ceil(self.cfg.domain_size);
         let mut steering = rpcstack::nic::Steering::rss();
         let mut rng = simcore::rng::stream_rng(0, simcore::rng::streams::NIC);
-        let mut queue = EventQueue::with_capacity(trace.len() * 3);
-        for (idx, req) in trace.iter().enumerate() {
-            let domain = if domains == 1 {
-                0
-            } else {
-                steering.steer(req.conn, domains, &mut rng)
-            };
-            queue.push(
-                req.arrival + self.cfg.nic.mac_delay,
-                Ev::NicEnqueue(idx, domain),
-            );
-        }
+        // Streamed arrivals: reserved seqs keep pop order and steering RNG
+        // draws identical to the old upfront pre-push.
+        let mut queue = EventQueue::new();
+        let base_seq = queue.reserve_seqs(trace.len() as u64);
+        let requests = trace.requests();
+        let mac_delay = self.cfg.nic.mac_delay;
+        let mut source = StreamInjector::new(
+            trace.len(),
+            base_seq,
+            |i: usize| requests[i].arrival + mac_delay,
+            |i: usize| {
+                let req = &requests[i];
+                let domain = if domains == 1 {
+                    0
+                } else {
+                    steering.steer(req.conn, domains, &mut rng)
+                };
+                (req.arrival + mac_delay, Ev::NicEnqueue(i, domain))
+            },
+        );
         let mut world = JbsqWorld {
             trace,
             cfg: self.cfg.clone(),
@@ -294,7 +302,7 @@ impl RpcSystem for Jbsq {
             stalled: vec![false; n],
             result: SystemResult::with_capacity(trace.len()),
         };
-        run(&mut world, &mut queue, SimTime::MAX);
+        run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.result
     }
 }

@@ -9,7 +9,6 @@
 //! search already paid for instead of re-simulating it.
 
 use simcore::time::SimDuration;
-use std::collections::HashMap;
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,9 +85,20 @@ where
 {
     assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
     assert!(tol > 0.0, "tolerance must be positive");
-    let mut cache: HashMap<u64, SimDuration> = HashMap::new();
-    let mut cached_eval =
-        |load: f64| -> SimDuration { *cache.entry(load.to_bits()).or_insert_with(|| eval(load)) };
+    // Memo kept sorted by load: a handful of bisection probes makes binary
+    // search cheaper than hashing, and the evaluated series falls out
+    // already sorted and deduplicated.
+    let mut cache: Vec<(f64, SimDuration)> = Vec::new();
+    let mut cached_eval = |load: f64| -> SimDuration {
+        match cache.binary_search_by(|(l, _)| l.partial_cmp(&load).expect("loads are finite")) {
+            Ok(i) => cache[i].1,
+            Err(i) => {
+                let p99 = eval(load);
+                cache.insert(i, (load, p99));
+                p99
+            }
+        }
+    };
 
     let best = 'search: {
         if cached_eval(lo) > slo {
@@ -109,14 +119,10 @@ where
         Some(good)
     };
 
-    let mut evaluated: Vec<SweepPoint> = cache
+    let evaluated: Vec<SweepPoint> = cache
         .into_iter()
-        .map(|(bits, p99)| SweepPoint {
-            load: f64::from_bits(bits),
-            p99,
-        })
+        .map(|(load, p99)| SweepPoint { load, p99 })
         .collect();
-    evaluated.sort_by(|a, b| a.load.partial_cmp(&b.load).expect("loads are finite"));
     SloSearch { best, evaluated }
 }
 
@@ -215,6 +221,34 @@ mod tests {
         assert!(search.evaluated.windows(2).all(|w| w[0].load < w[1].load));
         // The series includes the bounds and every midpoint probed.
         assert!(search.evaluated.len() >= 2);
+    }
+
+    #[test]
+    fn evaluated_series_sorted_and_deduplicated() {
+        let mut evals = Vec::new();
+        let search = throughput_at_slo_search(
+            |load| {
+                evals.push(load);
+                SimDuration::from_ns_f64(load * load * 100_000.0)
+            },
+            SimDuration::from_us(25),
+            0.05,
+            1.0,
+            0.001, // deep bisection: many probed loads
+        );
+        // Strictly increasing: sorted with no duplicate loads.
+        assert!(
+            search.evaluated.windows(2).all(|w| w[0].load < w[1].load),
+            "series must be strictly increasing"
+        );
+        // The series is exactly the set of evaluated loads, nothing more.
+        let mut expected = evals.clone();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.dedup();
+        assert_eq!(
+            search.evaluated.iter().map(|p| p.load).collect::<Vec<_>>(),
+            expected
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Counting global allocator — the allocation-budget harness.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and counts every
+//! allocation (including reallocations, which may move). Test binaries
+//! install it as their `#[global_allocator]` and assert that the simulator's
+//! steady-state loop performs **zero** allocations per event:
+//!
+//! ```ignore
+//! use simcore::alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! // ... run the warmed-up hot loop ...
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Counter reads are monotone snapshots; meaningful deltas require that no
+//! other thread allocates between the two reads, so allocation-budget tests
+//! keep all phases inside a single `#[test]` function.
+
+// The delegating GlobalAlloc impl below is the one unavoidable use of
+// `unsafe` in simcore; everything else stays deny-by-default.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-delegating allocator that counts calls and bytes.
+#[derive(Debug, Default)]
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// Creates a zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of allocation calls (alloc + alloc_zeroed + realloc)
+    /// since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across those calls.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -165,6 +165,29 @@ impl<E> EventQueue<E> {
         self.push_scheduled(Scheduled { time, seq, event });
     }
 
+    /// Reserves a contiguous block of `n` sequence numbers and returns its
+    /// first value. Subsequent [`push`](Self::push)es draw seqs *after* the
+    /// block.
+    ///
+    /// This is the byte-identity lever behind streaming injection: pop order
+    /// depends only on `(time, seq)`, so handing arrival `i` the seq it
+    /// would have received from an upfront push (`base + i`) makes the
+    /// *physical* injection moment irrelevant to the pop order.
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let base = self.next_seq;
+        self.next_seq += n;
+        base
+    }
+
+    /// Schedules `event` at `time` under a sequence number previously
+    /// obtained from [`reserve_seqs`](Self::reserve_seqs). Each reserved seq
+    /// must be pushed at most once.
+    #[inline]
+    pub fn push_at_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.next_seq, "seq must come from reserve_seqs");
+        self.push_scheduled(Scheduled { time, seq, event });
+    }
+
     /// Inserts an already-sequenced entry (also used by [`run`] to put a
     /// beyond-horizon event back without disturbing FIFO order).
     fn push_scheduled(&mut self, s: Scheduled<E>) {
@@ -342,6 +365,19 @@ impl<E> BinaryHeapQueue<E> {
         self.heap.push(Scheduled { time, seq, event });
     }
 
+    /// Reserves `n` sequence numbers; see [`EventQueue::reserve_seqs`].
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let base = self.next_seq;
+        self.next_seq += n;
+        base
+    }
+
+    /// Pushes under a reserved seq; see [`EventQueue::push_at_seq`].
+    pub fn push_at_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.next_seq, "seq must come from reserve_seqs");
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.time, s.event))
@@ -386,7 +422,7 @@ pub trait World {
 }
 
 /// Outcome of driving a [`World`] to completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunSummary {
     /// Number of events dispatched.
     pub events: u64,
@@ -395,6 +431,104 @@ pub struct RunSummary {
     /// True if the run ended because [`World::should_stop`] returned `true`
     /// (as opposed to queue exhaustion or the horizon).
     pub stopped_early: bool,
+    /// Largest queue population observed during the run — the memory
+    /// high-water mark of the event structure. Streaming injection keeps
+    /// this at O(in-flight) instead of O(trace).
+    pub peak_queue: usize,
+}
+
+/// A lazily-injected, time-ordered stream of externally-generated events
+/// (arrivals), consumed by [`run_streamed`].
+///
+/// The contract that keeps streamed runs byte-identical to upfront pushes:
+///
+/// 1. `next_time()` is a *lower bound* on the scheduled time of every event
+///    the source has not yet injected, and is non-decreasing across
+///    injections.
+/// 2. `inject_chunk` injects at least one event (in stream order, under
+///    seqs reserved via [`EventQueue::reserve_seqs`]) whenever `next_time()`
+///    is `Some`.
+pub trait EventSource<E> {
+    /// Lower bound on the time of the next not-yet-injected event, or
+    /// `None` once the stream is exhausted.
+    fn next_time(&self) -> Option<SimTime>;
+
+    /// Injects the next chunk of events into `queue`.
+    fn inject_chunk(&mut self, queue: &mut EventQueue<E>);
+}
+
+/// Default number of arrivals a [`StreamInjector`] pushes per refill.
+///
+/// Large enough to amortize the refill check, small enough that the queue
+/// population stays O(in-flight + chunk) rather than O(trace).
+pub const DEFAULT_INJECT_CHUNK: usize = 1024;
+
+/// An [`EventSource`] over an indexed stream `0..len`: `lower_bound(i)`
+/// gives the watermark for item `i` without side effects, `make(i)` is
+/// called exactly once per item, in order, to produce `(time, event)`.
+///
+/// Splitting the two closures lets `make` consume per-arrival state (e.g.
+/// a steering RNG) in exactly the order an upfront push loop would have,
+/// while `next_time` stays free to call repeatedly.
+pub struct StreamInjector<L, M> {
+    next: usize,
+    len: usize,
+    base_seq: u64,
+    chunk: usize,
+    lower_bound: L,
+    make: M,
+}
+
+impl<L, M> StreamInjector<L, M> {
+    /// Creates an injector over items `0..len` whose reserved seq block
+    /// starts at `base_seq`, using [`DEFAULT_INJECT_CHUNK`].
+    pub fn new(len: usize, base_seq: u64, lower_bound: L, make: M) -> Self {
+        Self::with_chunk(len, base_seq, DEFAULT_INJECT_CHUNK, lower_bound, make)
+    }
+
+    /// Creates an injector with an explicit chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn with_chunk(len: usize, base_seq: u64, chunk: usize, lower_bound: L, make: M) -> Self {
+        assert!(chunk > 0, "injection chunk must be positive");
+        StreamInjector {
+            next: 0,
+            len,
+            base_seq,
+            chunk,
+            lower_bound,
+            make,
+        }
+    }
+}
+
+impl<E, L, M> EventSource<E> for StreamInjector<L, M>
+where
+    L: Fn(usize) -> SimTime,
+    M: FnMut(usize) -> (SimTime, E),
+{
+    fn next_time(&self) -> Option<SimTime> {
+        (self.next < self.len).then(|| (self.lower_bound)(self.next))
+    }
+
+    fn inject_chunk(&mut self, queue: &mut EventQueue<E>) {
+        let end = (self.next + self.chunk).min(self.len);
+        for i in self.next..end {
+            let (time, event) = (self.make)(i);
+            debug_assert!(
+                time >= (self.lower_bound)(i),
+                "lower_bound must not exceed the scheduled time"
+            );
+            debug_assert!(
+                i == 0 || (self.lower_bound)(i) >= (self.lower_bound)(i - 1),
+                "lower_bound must be non-decreasing in stream order"
+            );
+            queue.push_at_seq(time, self.base_seq + i as u64, event);
+        }
+        self.next = end;
+    }
 }
 
 /// Drains `queue` through `world` until the queue empties, `horizon` passes,
@@ -410,6 +544,7 @@ pub fn run<W: World>(
 ) -> RunSummary {
     let mut events = 0u64;
     let mut now = SimTime::ZERO;
+    let mut peak = queue.len();
     while let Some(s) = queue.pop_scheduled() {
         if s.time > horizon {
             queue.push_scheduled(s);
@@ -417,17 +552,20 @@ pub fn run<W: World>(
                 events,
                 end_time: now,
                 stopped_early: false,
+                peak_queue: peak,
             };
         }
         debug_assert!(s.time >= now, "event queue went backwards in time");
         now = s.time;
         world.handle(now, s.event, queue);
         events += 1;
+        peak = peak.max(queue.len());
         if world.should_stop(now) {
             return RunSummary {
                 events,
                 end_time: now,
                 stopped_early: true,
+                peak_queue: peak,
             };
         }
     }
@@ -435,6 +573,79 @@ pub fn run<W: World>(
         events,
         end_time: now,
         stopped_early: false,
+        peak_queue: peak,
+    }
+}
+
+/// Like [`run`], but arrivals are pulled lazily from `source` instead of
+/// having been pushed upfront, keeping the queue population at
+/// O(in-flight + chunk) instead of O(trace).
+///
+/// Pop order (and therefore the entire simulation) is byte-identical to an
+/// upfront push as long as `source` honours the [`EventSource`] contract and
+/// its events were assigned reserved seqs in stream order: before each pop
+/// the loop checks whether the source could still hold an event at or before
+/// the queue minimum (`next_time() <= popped.time` — ties matter, because a
+/// reserved stream seq precedes any dynamically pushed one) and tops the
+/// queue up first if so.
+///
+/// On a horizon stop, not-yet-injected arrivals remain in `source`; the
+/// queue alone does not hold the full remaining schedule.
+pub fn run_streamed<W: World, S: EventSource<W::Event>>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    source: &mut S,
+    horizon: SimTime,
+) -> RunSummary {
+    let mut events = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut peak = queue.len();
+    let mut source_next = source.next_time();
+    loop {
+        let s = match queue.pop_scheduled() {
+            Some(s) if source_next.is_none_or(|t| s.time < t) => s,
+            maybe => {
+                // Queue empty, or the source may still hold an event at or
+                // before the popped one. Refill and retry.
+                if let Some(s) = maybe {
+                    queue.push_scheduled(s);
+                } else if source_next.is_none() {
+                    break;
+                }
+                source.inject_chunk(queue);
+                source_next = source.next_time();
+                peak = peak.max(queue.len());
+                continue;
+            }
+        };
+        if s.time > horizon {
+            queue.push_scheduled(s);
+            return RunSummary {
+                events,
+                end_time: now,
+                stopped_early: false,
+                peak_queue: peak,
+            };
+        }
+        debug_assert!(s.time >= now, "event queue went backwards in time");
+        now = s.time;
+        world.handle(now, s.event, queue);
+        events += 1;
+        peak = peak.max(queue.len());
+        if world.should_stop(now) {
+            return RunSummary {
+                events,
+                end_time: now,
+                stopped_early: true,
+                peak_queue: peak,
+            };
+        }
+    }
+    RunSummary {
+        events,
+        end_time: now,
+        stopped_early: false,
+        peak_queue: peak,
     }
 }
 
@@ -618,6 +829,101 @@ mod tests {
         fn should_stop(&self, _now: SimTime) -> bool {
             self.0 == 3
         }
+    }
+
+    /// Records every handled event; echoes arrivals (`e < 1000`) with a
+    /// dynamic follow-up event 15 ns later, exercising the reserved-vs-
+    /// dynamic seq interleaving.
+    struct Echo(Vec<(SimTime, i32)>);
+    impl World for Echo {
+        type Event = i32;
+        fn handle(&mut self, now: SimTime, e: i32, q: &mut EventQueue<i32>) {
+            self.0.push((now, e));
+            if e < 1000 {
+                q.push(now + SimDuration::from_ns(15), 1000 + e);
+            }
+        }
+    }
+
+    fn arrival_time(i: usize) -> SimTime {
+        // Bursty: pairs share an instant, so arrivals tie with each other
+        // and with echoes of earlier arrivals.
+        SimTime::from_ns(10 * (i as u64 / 2) + 5)
+    }
+
+    #[test]
+    fn streamed_matches_upfront_push() {
+        const N: usize = 500;
+        let mut up_q = EventQueue::new();
+        for i in 0..N {
+            up_q.push(arrival_time(i), i as i32);
+        }
+        let mut up = Echo(Vec::new());
+        let up_summary = run(&mut up, &mut up_q, SimTime::MAX);
+
+        let mut st_q = EventQueue::new();
+        let base = st_q.reserve_seqs(N as u64);
+        let mut source =
+            StreamInjector::with_chunk(N, base, 16, arrival_time, |i| (arrival_time(i), i as i32));
+        let mut st = Echo(Vec::new());
+        let st_summary = run_streamed(&mut st, &mut st_q, &mut source, SimTime::MAX);
+
+        assert_eq!(up.0, st.0, "event orders diverged");
+        assert_eq!(up_summary.events, st_summary.events);
+        assert_eq!(up_summary.end_time, st_summary.end_time);
+        assert!(
+            st_summary.peak_queue < up_summary.peak_queue,
+            "streaming should shrink the peak ({} vs {})",
+            st_summary.peak_queue,
+            up_summary.peak_queue
+        );
+        // Upfront peak is O(N); streamed is O(chunk + in-flight).
+        assert!(up_summary.peak_queue >= N);
+        assert!(st_summary.peak_queue < 16 + 64);
+    }
+
+    #[test]
+    fn streamed_tie_pops_reserved_seq_first() {
+        // Arrival 1 lands at t=20ns, exactly when the echo of arrival 0 is
+        // due. The arrival holds a reserved (smaller) seq, so it must pop
+        // first — which requires the refill check to fire on ties.
+        let times = [SimTime::from_ns(5), SimTime::from_ns(20)];
+        let mut q = EventQueue::new();
+        let base = q.reserve_seqs(2);
+        let mut source =
+            StreamInjector::with_chunk(2, base, 1, |i| times[i], |i| (times[i], i as i32));
+        let mut w = Echo(Vec::new());
+        run_streamed(&mut w, &mut q, &mut source, SimTime::MAX);
+        let order: Vec<i32> = w.0.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 1000, 1001]);
+    }
+
+    #[test]
+    fn streamed_respects_horizon() {
+        const N: usize = 100;
+        let mut q = EventQueue::new();
+        let base = q.reserve_seqs(N as u64);
+        let mut source =
+            StreamInjector::with_chunk(N, base, 8, arrival_time, |i| (arrival_time(i), i as i32));
+        let mut w = Echo(Vec::new());
+        let horizon = SimTime::from_ns(100);
+        let summary = run_streamed(&mut w, &mut q, &mut source, horizon);
+        assert!(!summary.stopped_early);
+        assert!(w.0.iter().all(|&(t, _)| t <= horizon));
+        // The un-simulated remainder lives in queue + source together.
+        assert!(source.next_time().is_some() || !q.is_empty());
+    }
+
+    #[test]
+    fn reserved_seqs_interleave_with_dynamic_pushes() {
+        let mut q = EventQueue::new();
+        let base = q.reserve_seqs(2);
+        let t = SimTime::from_ns(50);
+        q.push(t, 100); // dynamic: seq 2
+        q.push_at_seq(t, base + 1, 1);
+        q.push_at_seq(t, base, 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 100]);
     }
 
     #[test]

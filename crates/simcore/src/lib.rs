@@ -10,6 +10,7 @@
 //!   [`event::World`] trait and [`event::run`] loop.
 //! - [`metrics`]: HDR-style latency histograms, quantiles and SLO accounting.
 //! - [`rng`]: per-component deterministic RNG streams.
+//! - [`alloc`]: a counting global allocator for allocation-budget tests.
 //! - [`parallel`]: deterministic thread fan-out for parameter sweeps.
 //! - [`report`]: aligned plain-text tables for experiment output.
 //!
@@ -60,8 +61,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the `alloc` module needs one delegating
+// GlobalAlloc impl (see its module docs); everything else stays safe.
+#![deny(unsafe_code)]
 
+pub mod alloc;
 pub mod event;
 pub mod metrics;
 pub mod parallel;
@@ -70,7 +74,9 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{run, BinaryHeapQueue, EventQueue, RunSummary, World};
+pub use event::{
+    run, run_streamed, BinaryHeapQueue, EventQueue, EventSource, RunSummary, StreamInjector, World,
+};
 pub use metrics::{LatencyHistogram, LatencySummary, SloTracker};
 pub use parallel::{default_threads, parallel_map, seeded_map};
 pub use stats::{batch_means_ci, MeanCi};

@@ -165,7 +165,9 @@ mod tests {
     fn seeded_map_is_thread_count_invariant() {
         let run = |threads| {
             seeded_map(42, vec![(); 24], threads, |_, _, mut rng| {
-                (0..64).map(|_| rng.random::<u64>()).sum::<u64>()
+                (0..64)
+                    .map(|_| rng.random::<u64>())
+                    .fold(0u64, u64::wrapping_add)
             })
         };
         let one = run(1);
