@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Measures hot-path throughput (events/sec) and peak event-queue population
-# for the representative sim_throughput configuration, writing the result to
-# BENCH_hotpath.json. Run from the repository root:
+# for the representative sim_throughput configuration plus the paper-scale
+# 256-core (16x16) mesh — the latter under both control planes (Elided vs
+# EventDriven) so the manager-plane event-elision win is recorded
+# head-to-head. Writes the result to BENCH_hotpath.json. Run from the
+# repository root:
 #
 #   ./bench_hotpath.sh
 #

@@ -16,6 +16,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+# Compile (but do not execute) the criterion benches and the hotpath
+# harness so bench-only code can never rot out of sync with the library.
+cargo bench --workspace --no-run
+
 echo "==> allocation-regression gate"
 # Fast steady-state allocation budgets (single-test files so the global
 # counting allocator sees no cross-thread noise). These fail loudly if a

@@ -6,7 +6,7 @@
 //! best-of is far more stable than a mean on a shared/noisy machine, and the
 //! minimum is the closest observable to the true cost of the code.
 
-use altocumulus::{AcConfig, Altocumulus};
+use altocumulus::{AcConfig, Altocumulus, ControlPlane};
 use schedulers::common::RpcSystem;
 use schedulers::jbsq::{Jbsq, JbsqVariant};
 use simcore::time::SimDuration;
@@ -15,60 +15,96 @@ use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
 
 const ITERS: usize = 7;
 
-fn trace() -> workload::Trace {
+struct Measured {
+    wall_ms: f64,
+    events: u64,
+    peak_queue: usize,
+}
+
+fn trace(cores: usize, requests: usize, load: f64) -> workload::Trace {
     let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
-    let rate = PoissonProcess::rate_for_load(0.8, 64, dist.mean());
+    let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
     TraceBuilder::new(PoissonProcess::new(rate), dist)
-        .requests(20_000)
+        .requests(requests)
         .connections(16)
         .seed(1)
         .build()
 }
 
-fn main() {
-    let t = trace();
-    let mean = SimDuration::from_ns(850);
-
-    // Altocumulus: wall time plus event-loop accounting from run_detailed.
-    let mut ac_best_ms = f64::MAX;
-    let mut ac_events = 0u64;
-    let mut ac_peak_queue = 0usize;
+fn measure(cfg: &AcConfig, t: &workload::Trace) -> Measured {
+    let mut best = Measured {
+        wall_ms: f64::MAX,
+        events: 0,
+        peak_queue: 0,
+    };
     for _ in 0..ITERS {
-        let mut sys = Altocumulus::new(AcConfig::ac_int(4, 16, mean));
+        let mut sys = Altocumulus::new(cfg.clone());
         let start = Instant::now();
-        let r = sys.run_detailed(&t);
+        let r = sys.run_detailed(t);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(r.system.completions.len(), t.len());
-        ac_best_ms = ac_best_ms.min(ms);
-        ac_events = r.summary.events;
-        ac_peak_queue = r.summary.peak_queue;
+        best.wall_ms = best.wall_ms.min(ms);
+        best.events = r.summary.events;
+        best.peak_queue = r.summary.peak_queue;
     }
-    let ac_events_per_sec = ac_events as f64 / (ac_best_ms / 1e3);
+    best
+}
+
+fn emit(label: &str, m: &Measured, trailing_comma: bool) {
+    let eps = m.events as f64 / (m.wall_ms / 1e3);
+    println!("  \"{label}\": {{");
+    println!("    \"wall_ms\": {:.2},", m.wall_ms);
+    println!("    \"events\": {},", m.events);
+    println!("    \"events_per_sec\": {eps:.0},");
+    println!("    \"peak_event_queue\": {}", m.peak_queue);
+    println!("  }}{}", if trailing_comma { "," } else { "" });
+}
+
+fn main() {
+    let mean = SimDuration::from_ns(850);
+
+    // Case 1: the historical 64-core configuration (4 groups x 16).
+    let t64 = trace(64, 20_000, 0.8);
+    let small = measure(&AcConfig::ac_int(4, 16, mean), &t64);
+
+    // Case 2: the paper-scale 256-core mesh (16 groups x 16), where the
+    // manager plane dominates the event budget: every period each of the
+    // 16 managers broadcasts UPDATEs to 15 peers. Measured under both
+    // control planes so the elision win is recorded head-to-head.
+    let t256 = trace(256, 40_000, 0.6);
+    let big_cfg = AcConfig::ac_int(16, 16, mean);
+    let big_elided = measure(&big_cfg, &t256);
+    let mut legacy_cfg = big_cfg.clone();
+    legacy_cfg.control_plane = ControlPlane::EventDriven;
+    let big_legacy = measure(&legacy_cfg, &t256);
 
     // Nebula baseline: wall time only (RpcSystem::run has no summary).
     let mut nb_best_ms = f64::MAX;
     for _ in 0..ITERS {
         let mut sys = Jbsq::new(JbsqVariant::Nebula, 64);
         let start = Instant::now();
-        let r = sys.run(&t);
+        let r = sys.run(&t64);
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(r.completions.len(), t.len());
+        assert_eq!(r.completions.len(), t64.len());
         nb_best_ms = nb_best_ms.min(ms);
     }
+
+    let event_cut = 100.0 * (1.0 - big_elided.events as f64 / big_legacy.events as f64);
 
     // Hand-rolled JSON (no serde in the workspace). The "prior" block holds
     // the pre-change numbers measured on the same machine for this trace:
     // criterion medians from the PR-1 build, and the upfront pre-push queue
     // population (every arrival resident at t=0).
     println!("{{");
-    println!("  \"config\": \"20k requests, 64 cores, load 0.8, fixed 850ns, 16 conns, seed 1\",");
+    println!(
+        "  \"config_64\": \"20k requests, 64 cores, load 0.8, fixed 850ns, 16 conns, seed 1\","
+    );
+    println!("  \"config_256\": \"40k requests, 256 cores (16x16), load 0.6, fixed 850ns, 16 conns, seed 1\",");
     println!("  \"iters_best_of\": {ITERS},");
-    println!("  \"altocumulus_int_4x16\": {{");
-    println!("    \"wall_ms\": {ac_best_ms:.2},");
-    println!("    \"events\": {ac_events},");
-    println!("    \"events_per_sec\": {ac_events_per_sec:.0},");
-    println!("    \"peak_event_queue\": {ac_peak_queue}");
-    println!("  }},");
+    emit("altocumulus_int_4x16", &small, true);
+    emit("altocumulus_int_16x16_elided", &big_elided, true);
+    emit("altocumulus_int_16x16_event_driven", &big_legacy, true);
+    println!("  \"manager_plane_event_cut_pct\": {event_cut:.1},");
     println!("  \"nebula_jbsq\": {{ \"wall_ms\": {nb_best_ms:.2} }},");
     println!("  \"prior\": {{");
     println!(

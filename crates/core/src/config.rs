@@ -38,6 +38,25 @@ pub enum PatternPolicy {
     ThresholdOnly,
 }
 
+/// How the simulator executes the manager control plane (UPDATE delivery
+/// and idle periods). Both modes model *identical* physics — same message
+/// latencies, same per-period estimator updates — and produce bit-identical
+/// results; they differ only in how many simulator events they cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlPlane {
+    /// Manager-plane event elision (the default): UPDATEs are delivered
+    /// through per-group mailboxes drained lazily at the destination's next
+    /// tick, and fully quiescent groups fast-forward across idle periods
+    /// instead of re-arming a timer event every `period`.
+    #[default]
+    Elided,
+    /// The legacy event-based path: one `Msg` event per UPDATE per peer and
+    /// one `Tick` event per group per period, unconditionally. Kept as the
+    /// differential-testing oracle (like `BinaryHeapQueue` for the calendar
+    /// queue).
+    EventDriven,
+}
+
 /// Full configuration of an Altocumulus system.
 #[derive(Debug, Clone)]
 pub struct AcConfig {
@@ -90,6 +109,8 @@ pub struct AcConfig {
     pub tenancy: Option<crate::tenancy::Tenancy>,
     /// NIC steering across NetRX queues.
     pub steering: Steering,
+    /// Simulator execution strategy for the manager control plane.
+    pub control_plane: ControlPlane,
     /// RNG seed.
     pub seed: u64,
 }
@@ -118,6 +139,7 @@ impl AcConfig {
             patterns: PatternPolicy::All,
             tenancy: None,
             steering: Steering::rss(),
+            control_plane: ControlPlane::Elided,
             seed: 0,
         }
     }

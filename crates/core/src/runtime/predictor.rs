@@ -89,6 +89,23 @@ impl LoadEstimator {
         }
     }
 
+    /// Fast-forwards the estimator across `ticks` idle periods, exactly as
+    /// if [`observe`](Self::observe)`(0, period)` had been called `ticks`
+    /// times.
+    ///
+    /// Deliberately implemented as the literal loop of EWMA multiplies
+    /// rather than the closed form `rate · (1−α)^k`: `powf` rounds once
+    /// while the loop rounds per step, and the idle-tick fast-forward in
+    /// the system model needs the skipped ticks to leave the estimator
+    /// *bit-identical* to having run them. Idle stretches are bounded by
+    /// the trace's arrival gaps divided by the period, so the loop stays
+    /// short in practice.
+    pub fn fast_forward_idle(&mut self, ticks: u64, period: SimDuration) {
+        for _ in 0..ticks {
+            self.observe(0, period);
+        }
+    }
+
     /// Smoothed arrival rate (requests/second).
     pub fn rate_per_sec(&self) -> f64 {
         self.rate_per_sec
@@ -145,6 +162,34 @@ mod tests {
         // neighbourhood (it was primed with 0, climbing slowly).
         assert_eq!(jumpy.rate_per_sec(), 8e6);
         assert!(smooth.rate_per_sec() < 4e6);
+    }
+
+    #[test]
+    fn fast_forward_idle_is_bit_identical_to_observed_zeros() {
+        // The quiescence contract of the idle-tick fast-forward: k skipped
+        // ticks leave the estimator bit-identical to k real observe(0, ·)
+        // calls, for alphas whose (1-α) multiplies round at every step.
+        let period = SimDuration::from_ns(200);
+        for alpha in [0.2, 0.05, 0.37, 1.0] {
+            for k in [0u64, 1, 2, 7, 100, 1000] {
+                let mut looped = LoadEstimator::new(SimDuration::from_ns(850), alpha);
+                let mut skipped = looped.clone();
+                // Prime both with some traffic so the decay path is active.
+                for _ in 0..5 {
+                    looped.observe(3, period);
+                    skipped.observe(3, period);
+                }
+                for _ in 0..k {
+                    looped.observe(0, period);
+                }
+                skipped.fast_forward_idle(k, period);
+                assert_eq!(
+                    looped.rate_per_sec().to_bits(),
+                    skipped.rate_per_sec().to_bits(),
+                    "alpha={alpha} k={k}: fast-forward diverged from real ticks"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,14 @@
 //! remaining sanctioned sources — log-amortized growth of result/histogram
 //! storage and the owned descriptor payload of rare MIGRATE sends — while
 //! failing loudly if any per-event allocation (queue snapshots, per-tick
-//! clones, planner buffers) sneaks back into the loop.
+//! clones, planner buffers, mailbox churn) sneaks back into the loop.
+//!
+//! Two regimes are pinned under the default `Elided` control plane:
+//! moderate load, where every tick broadcasts UPDATEs through the per-group
+//! mailboxes (`MailEntry` pushes must reuse retained `Vec` capacity), and
+//! near-idle load, where groups continuously go dormant and get woken by
+//! arrivals (the fast-forward accounting and per-instant tick-seq block
+//! reservation must not allocate either).
 //!
 //! Single `#[test]` on purpose: the global counter is process-wide and
 //! sibling tests on other threads would pollute the deltas.
@@ -21,9 +28,9 @@ use workload::trace::{Trace, TraceBuilder};
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
-fn trace(n: usize) -> Trace {
+fn trace(n: usize, load: f64) -> Trace {
     let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
-    let rate = PoissonProcess::rate_for_load(0.6, 64, dist.mean());
+    let rate = PoissonProcess::rate_for_load(load, 64, dist.mean());
     TraceBuilder::new(PoissonProcess::new(rate), dist)
         .requests(n)
         .connections(256)
@@ -40,16 +47,12 @@ fn run(trace: &Trace) -> (u64, u64) {
     (ALLOC.allocations() - before, r.summary.events)
 }
 
-#[test]
-fn altocumulus_steady_state_allocations_pinned() {
-    let small_trace = trace(20_000);
-    let big_trace = trace(60_000);
-
+fn assert_pinned(label: &str, small_trace: &Trace, big_trace: &Trace) {
     // Warmup run so one-time lazy initialization is off the books.
-    let _ = run(&small_trace);
+    let _ = run(small_trace);
 
-    let (allocs_small, events_small) = run(&small_trace);
-    let (allocs_big, events_big) = run(&big_trace);
+    let (allocs_small, events_small) = run(small_trace);
+    let (allocs_big, events_big) = run(big_trace);
 
     assert!(events_big > events_small, "bigger trace, more events");
     let extra_events = events_big - events_small;
@@ -57,7 +60,15 @@ fn altocumulus_steady_state_allocations_pinned() {
     let per_event = extra_allocs as f64 / extra_events as f64;
     assert!(
         per_event < 0.01,
-        "steady-state allocation rate {per_event:.4}/event \
+        "{label}: steady-state allocation rate {per_event:.4}/event \
          ({extra_allocs} extra allocations over {extra_events} extra events)"
     );
+}
+
+#[test]
+fn altocumulus_steady_state_allocations_pinned() {
+    // Moderate load: the mailbox UPDATE path carries the manager plane.
+    assert_pinned("mailbox", &trace(20_000, 0.6), &trace(60_000, 0.6));
+    // Near-idle load: dormancy, wake and idle-tick fast-forward dominate.
+    assert_pinned("dormancy", &trace(5_000, 0.05), &trace(15_000, 0.05));
 }
