@@ -29,4 +29,16 @@ echo "==> allocation-regression gate"
 cargo test -p simcore --release --test alloc_budget -- --quiet
 cargo test -p altocumulus --release --test alloc_budget -- --quiet
 
+echo "==> telemetry-export smoke"
+# Export a real trace from the hotpath harness and lint it: the Chrome-trace
+# JSON must parse with well-nested per-request spans, and every probe JSONL
+# line must match the schema. Guards the exporters end-to-end, not just the
+# in-process recorder.
+SMOKE=target/telemetry-smoke
+mkdir -p "$SMOKE"
+cargo run -q -p bench --release --bin hotpath -- --trace-out "$SMOKE/trace.json" \
+  > /dev/null 2> /dev/null
+cargo run -q -p bench --release --bin trace_lint -- \
+  "$SMOKE/trace.json" "$SMOKE/trace.probes.jsonl"
+
 echo "CI OK"

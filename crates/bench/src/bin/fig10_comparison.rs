@@ -11,8 +11,12 @@
 //! cargo run -p bench --release --bin fig10_comparison
 //! ```
 
+use altocumulus::telemetry::phase_table;
 use altocumulus::{AcConfig, Altocumulus};
-use bench::{parallel_map, point_from, poisson_trace};
+use bench::{
+    capture_telemetry, export_trace, has_flag, parallel_map, point_from, poisson_trace,
+    trace_out_arg,
+};
 use rpcstack::stack::StackModel;
 use schedulers::central::{CentralConfig, CentralDispatch};
 use schedulers::common::RpcSystem;
@@ -94,6 +98,9 @@ fn main() {
         .map(|(&name, pts)| (name, pts.to_vec()))
         .collect();
 
+    // `--csv` switches the data tables to machine-readable CSV so scripts
+    // stop re-parsing aligned text.
+    let csv = has_flag("--csv");
     let mut t = Table::new(&["system", "load", "MRPS", "p99_us", "viol%"]);
     for (name, pts) in &all {
         for p in pts {
@@ -106,7 +113,11 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        t.print();
+    }
 
     println!("\nthroughput@SLO (highest measured MRPS with p99 <= 300us):");
     let mut t2 = Table::new(&["system", "MRPS@SLO"]);
@@ -120,7 +131,11 @@ fn main() {
         best.push((name.to_string(), mrps));
         t2.row(&[name, &format!("{mrps:.2}")]);
     }
-    t2.print();
+    if csv {
+        print!("{}", t2.to_csv());
+    } else {
+        t2.print();
+    }
 
     let get = |n: &str| {
         best.iter()
@@ -135,5 +150,27 @@ fn main() {
             ac / zygos,
             ac / nebula
         );
+    }
+
+    // Optional telemetry export: one traced AC_rss run on a shortened trace
+    // (the figure itself is already printed; this is a debugging artifact).
+    // Files + stderr only, so stdout stays byte-identical with or without
+    // the flag.
+    if let Some(path) = trace_out_arg() {
+        let trace = poisson_trace(dist, 0.3, CORES, REQUESTS / 10, 128, 10);
+        let mut tel = capture_telemetry(trace.len());
+        let mut cfg = AcConfig::ac_rss(1, 16, dist.mean());
+        cfg.stack = StackModel::nano_rpc();
+        Altocumulus::new(cfg).run_traced(&trace, &mut tel);
+        let probes = export_trace(&tel, &path);
+        eprintln!(
+            "trace (AC_rss, load 0.30, {} reqs): {} span points -> {} | {} probe samples -> {}",
+            trace.len(),
+            tel.spans.len(),
+            path.display(),
+            tel.probes.sample_count(),
+            probes.display()
+        );
+        eprintln!("{}", phase_table(&tel).render());
     }
 }

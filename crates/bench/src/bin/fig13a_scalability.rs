@@ -13,8 +13,9 @@
 //! ```
 
 use altocumulus::accounting::prediction_accuracy;
+use altocumulus::telemetry::phase_table;
 use altocumulus::{AcConfig, Altocumulus};
-use bench::parallel_map;
+use bench::{capture_telemetry, export_trace, parallel_map, trace_out_arg};
 use queueing::ThresholdModel;
 use schedulers::common::RpcSystem;
 use schedulers::dfcfs::{DFcfs, DFcfsConfig};
@@ -161,5 +162,32 @@ fn main() {
         }
         t.print();
         println!("(all throughput columns in MRPS with p99 <= {slo})\n");
+    }
+
+    // Optional telemetry export: one traced AC_int_opt run at 64 cores on a
+    // shortened Poisson trace (20k requests), a configuration where the
+    // migration machinery is actually exercised. Files + stderr only, so
+    // stdout stays byte-identical with or without the flag.
+    if let Some(path) = trace_out_arg() {
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let rate = PoissonProcess::rate_for_load(0.8, 64, dist.mean());
+        let trace = TraceBuilder::new(PoissonProcess::new(rate), dist)
+            .requests(20_000)
+            .connections(64 * 16)
+            .seed(51)
+            .build();
+        let mut tel = capture_telemetry(trace.len());
+        let r = Altocumulus::new(opt(64)).run_traced(&trace, &mut tel);
+        let probes = export_trace(&tel, &path);
+        eprintln!(
+            "trace (AC_int_opt 64c, load 0.80, {} reqs, {} migrated): {} span points -> {} | {} probe samples -> {}",
+            trace.len(),
+            r.stats.migrated_requests,
+            tel.spans.len(),
+            path.display(),
+            tel.probes.sample_count(),
+            probes.display()
+        );
+        eprintln!("{}", phase_table(&tel).render());
     }
 }

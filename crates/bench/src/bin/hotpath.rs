@@ -6,7 +6,9 @@
 //! best-of is far more stable than a mean on a shared/noisy machine, and the
 //! minimum is the closest observable to the true cost of the code.
 
+use altocumulus::telemetry::phase_table;
 use altocumulus::{AcConfig, Altocumulus, ControlPlane};
+use bench::{capture_telemetry, export_trace, trace_out_arg};
 use schedulers::common::RpcSystem;
 use schedulers::jbsq::{Jbsq, JbsqVariant};
 use simcore::time::SimDuration;
@@ -114,4 +116,32 @@ fn main() {
     println!("    \"note\": \"criterion medians before streaming arrivals + scratch reuse; peak queue was O(trace): all 20k arrivals pre-pushed\"");
     println!("  }}");
     println!("}}");
+
+    // Optional telemetry export of the 64-core case. Stdout is the bench
+    // JSON consumed by bench_hotpath.sh, so everything here goes to files
+    // and stderr. The traced run must reproduce the measured run exactly
+    // (the non-perturbation invariant) — asserted, not assumed.
+    if let Some(path) = trace_out_arg() {
+        let mut tel = capture_telemetry(t64.len());
+        let mut sys = Altocumulus::new(AcConfig::ac_int(4, 16, mean));
+        let r = sys.run_traced(&t64, &mut tel);
+        assert_eq!(
+            r.summary.events, small.events,
+            "telemetry perturbed the run"
+        );
+        assert_eq!(
+            r.summary.peak_queue, small.peak_queue,
+            "telemetry perturbed the run"
+        );
+        let probes = export_trace(&tel, &path);
+        eprintln!(
+            "trace: {} span points -> {} | {} probe samples -> {}",
+            tel.spans.len(),
+            path.display(),
+            tel.probes.sample_count(),
+            probes.display()
+        );
+        eprintln!("\nphase latency breakdown (64-core case):");
+        eprintln!("{}", phase_table(&tel).render());
+    }
 }

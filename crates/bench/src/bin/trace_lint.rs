@@ -1,0 +1,57 @@
+//! Validates exported telemetry artifacts: a Chrome-trace JSON (must parse
+//! and have well-nested per-track spans) and a probe JSONL (every line must
+//! match the probe schema). Exits non-zero on the first violation — the CI
+//! smoke step runs this against a fresh `hotpath --trace-out` export.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin trace_lint -- trace.json trace.probes.jsonl
+//! ```
+
+use simcore::telemetry::{validate_chrome_trace, validate_probe_jsonl};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, probe_path] = args.as_slice() else {
+        eprintln!("usage: trace_lint <trace.json> <probes.jsonl>");
+        return ExitCode::FAILURE;
+    };
+
+    let trace = match std::fs::read_to_string(trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&trace) {
+        Ok(stats) => println!(
+            "{trace_path}: OK ({} events, {} tracks, well-nested)",
+            stats.events, stats.tracks
+        ),
+        Err(e) => {
+            eprintln!("trace_lint: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let probes = match std::fs::read_to_string(probe_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {probe_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_probe_jsonl(&probes) {
+        Ok(n) if n > 0 => println!("{probe_path}: OK ({n} samples)"),
+        Ok(_) => {
+            eprintln!("trace_lint: {probe_path}: no probe samples");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("trace_lint: {probe_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

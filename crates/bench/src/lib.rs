@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use altocumulus::telemetry::{chrome_trace, Telemetry};
 use schedulers::common::{RpcSystem, SystemResult};
 use simcore::time::SimDuration;
+use std::path::{Path, PathBuf};
 use workload::trace::Trace;
 use workload::{PoissonProcess, ServiceDistribution, TraceBuilder};
 
@@ -137,6 +139,53 @@ where
         0.02,
     );
     search.best.map(|best| mrps_by_load[&best.to_bits()])
+}
+
+/// True iff the process arguments contain the exact flag `name`
+/// (e.g. `--csv`).
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses `--trace-out <path>` (or `--trace-out=<path>`) from the process
+/// arguments: the opt-in for telemetry capture on the figure binaries.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Builds a [`Telemetry`] recorder pre-sized for a trace of `requests`
+/// requests: enough span points for every lifecycle transition (ring growth
+/// only under unusually migration-heavy runs) and a per-series probe ring
+/// deep enough for the figure configurations' tick counts.
+pub fn capture_telemetry(requests: usize) -> Telemetry {
+    Telemetry::with_capacity(requests * 8 + 1024, 16_384)
+}
+
+/// Writes the capture's Chrome-trace JSON to `path` and its probe series
+/// as JSON Lines next to it (extension replaced with `probes.jsonl`, so
+/// `trace.json` pairs with `trace.probes.jsonl`). Returns the probe path.
+///
+/// # Panics
+///
+/// Panics if either file cannot be written — the figure binaries treat an
+/// unwritable `--trace-out` destination as a fatal usage error.
+pub fn export_trace(tel: &Telemetry, path: &Path) -> PathBuf {
+    let spans = chrome_trace(tel);
+    std::fs::write(path, spans)
+        .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", path.display()));
+    let probe_path = path.with_extension("probes.jsonl");
+    std::fs::write(&probe_path, tel.probes.to_jsonl())
+        .unwrap_or_else(|e| panic!("cannot write probes to {}: {e}", probe_path.display()));
+    probe_path
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ pub mod config;
 pub mod hw;
 pub mod runtime;
 pub mod system;
+pub mod telemetry;
 pub mod tenancy;
 
 pub use accounting::{
@@ -63,4 +64,5 @@ pub use config::{AcConfig, Attachment, ControlPlane};
 pub use hw::interface::Interface;
 pub use runtime::predictor::ThresholdPolicy;
 pub use system::{AcResult, Altocumulus, MigrationStats};
+pub use telemetry::{Telemetry, TelemetrySink};
 pub use tenancy::Tenancy;

@@ -14,6 +14,7 @@ use crate::runtime::patterns::{
     guard_allows, plan_migrations_into, plan_threshold_only_into, MigrationOrder, PlanScratch,
 };
 use crate::runtime::predictor::LoadEstimator;
+use crate::telemetry::span;
 use interconnect::noc::MeshNoc;
 use interconnect::offchip::MemoryModel;
 use rand::rngs::StdRng;
@@ -21,6 +22,7 @@ use rpcstack::nic::{NicModel, Transfer};
 use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
 use simcore::rng::{stream_rng, streams};
+use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -43,6 +45,9 @@ pub struct MigrationStats {
     pub update_messages: u64,
     /// Migration orders suppressed by the Algorithm-1 line-8 guard.
     pub guard_blocked: u64,
+    /// Requests that landed at each destination group (`migrated_requests`
+    /// broken down by receiver; the sum equals `migrated_requests`).
+    pub migrated_per_group: Vec<u64>,
     /// Trace indices of requests the predictor selected as likely SLO
     /// violators (whether or not the migration succeeded).
     pub predicted: PredictedSet,
@@ -91,6 +96,27 @@ impl Altocumulus {
     /// front in trace order, so the pop order — and therefore every result
     /// byte — is identical to the old upfront pre-push.
     pub fn run_detailed(&mut self, trace: &Trace) -> AcResult {
+        // Monomorphized against the no-op sink: the compiled hot path is
+        // the telemetry-free one, with zero extra instructions.
+        self.run_with(trace, &mut NullSink)
+    }
+
+    /// Runs the full simulation while recording request-lifecycle spans and
+    /// time-series probes into `tel`.
+    ///
+    /// Recording is *non-perturbing*: the sink only reads state the
+    /// simulation already computed — it never pushes events, consumes RNG
+    /// draws, or alters control flow — so the returned [`AcResult`] is
+    /// byte-identical to [`run_detailed`](Self::run_detailed) on the same
+    /// trace (pinned by the determinism tests in `crates/bench`). Export
+    /// the capture with [`crate::telemetry::chrome_trace`],
+    /// [`crate::telemetry::phase_table`] and
+    /// [`simcore::telemetry::ProbeSet::to_jsonl`].
+    pub fn run_traced(&mut self, trace: &Trace, tel: &mut Telemetry) -> AcResult {
+        self.run_with(trace, tel)
+    }
+
+    fn run_with<S: TelemetrySink>(&mut self, trace: &Trace, tel: &mut S) -> AcResult {
         let cfg = &self.cfg;
         let nic = NicModel::default();
         let attach_transfer = match cfg.attachment {
@@ -135,6 +161,23 @@ impl Altocumulus {
 
         let mem = MemoryModel::default();
         let runtime_cost = cfg.interface.runtime_cost(2 + cfg.concurrency as u32, 2.0);
+        // Probe series exist only when a recording sink is attached; the
+        // registration order (all series of group 0, then group 1, …) is
+        // part of the export schema.
+        let probe_ids: Vec<ProbeIds> = if tel.enabled() {
+            (0..cfg.groups)
+                .map(|g| ProbeIds {
+                    netrx: tel.register_series("netrx_depth", g as u32),
+                    workers: tel.register_series("worker_queue_depth", g as u32),
+                    ewma: tel.register_series("ewma_erlangs", g as u32),
+                    send: tel.register_series("send_fifo", g as u32),
+                    recv: tel.register_series("recv_fifo", g as u32),
+                    migrations: tel.register_series("migrate_sends", g as u32),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let groups = (0..cfg.groups)
             .map(|_| Group {
                 netrx: VecDeque::new(),
@@ -193,9 +236,12 @@ impl Altocumulus {
             tick_block_base: 0,
             stats: MigrationStats {
                 predicted: PredictedSet::with_capacity(trace.len()),
+                migrated_per_group: vec![0; cfg.groups],
                 ..MigrationStats::default()
             },
             result: SystemResult::with_capacity(trace.len()),
+            tel,
+            probe_ids,
         };
         if cfg.migration_enabled && cfg.groups > 1 {
             let first = SimTime::ZERO + cfg.period;
@@ -381,7 +427,18 @@ fn stage_from_tail(
     }
 }
 
-struct AcWorld<'t> {
+/// Probe-series ids of one group, handed back by the sink at registration.
+#[derive(Debug, Clone, Copy)]
+struct ProbeIds {
+    netrx: u32,
+    workers: u32,
+    ewma: u32,
+    send: u32,
+    recv: u32,
+    migrations: u32,
+}
+
+struct AcWorld<'t, S: TelemetrySink> {
     trace: &'t Trace,
     cfg: &'t AcConfig,
     noc: MeshNoc,
@@ -409,6 +466,12 @@ struct AcWorld<'t> {
     tick_block_base: u64,
     stats: MigrationStats,
     result: SystemResult,
+    /// Telemetry receiver. Generic so the disabled case ([`NullSink`])
+    /// monomorphizes every hook away; hooks must only *read* simulation
+    /// state (the non-perturbation invariant).
+    tel: &'t mut S,
+    /// Per-group probe-series ids; empty when the sink is disabled.
+    probe_ids: Vec<ProbeIds>,
 }
 
 /// Serialization of back-to-back message injections from one runtime
@@ -436,7 +499,7 @@ fn push_msg(q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
     q.push_at_seq(at, seq, Ev::Msg { dst, seq, msg });
 }
 
-impl AcWorld<'_> {
+impl<S: TelemetrySink> AcWorld<'_, S> {
     /// Total on-core cost for trace request `idx`.
     fn total_cost(&self, idx: usize) -> SimDuration {
         let req = &self.trace.requests()[idx];
@@ -446,6 +509,11 @@ impl AcWorld<'_> {
     /// Mesh tile of a manager core.
     fn mgr_tile(&self, g: usize) -> usize {
         g * self.cfg.group_size
+    }
+
+    /// Core id of worker `w` in group `g` (the id completions report).
+    fn worker_core(&self, g: usize, w: usize) -> u32 {
+        (g * self.cfg.group_size + 1 + w) as u32
     }
 
     fn elided(&self) -> bool {
@@ -620,6 +688,9 @@ impl AcWorld<'_> {
                 };
                 let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
                 self.groups[g].in_flight[w] += 1;
+                let core = self.worker_core(g, w);
+                self.tel
+                    .span_point(qr.idx as u32, span::DISPATCH, core, now);
                 let req = &self.trace.requests()[qr.idx];
                 let xfer = self.intra_transfer.latency(req.size_bytes);
                 q.push(now + xfer, Ev::Deliver(g, w, qr));
@@ -649,6 +720,9 @@ impl AcWorld<'_> {
                     };
                     let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
                     self.groups[g].in_flight[w] += 1;
+                    let core = self.worker_core(g, w);
+                    self.tel
+                        .span_point(qr.idx as u32, span::DISPATCH, core, now);
                     q.push(done_at, Ev::Deliver(g, w, qr));
                     moved += 1;
                 }
@@ -671,6 +745,9 @@ impl AcWorld<'_> {
         q: &mut EventQueue<Ev>,
     ) {
         debug_assert!(self.groups[g].running[w].is_none());
+        let core = self.worker_core(g, w);
+        self.tel
+            .span_point(qr.idx as u32, span::SERVICE_START, core, now);
         self.groups[g].running[w] = Some(qr);
         q.push(now + qr.remaining, Ev::WorkerDone(g, w));
     }
@@ -692,6 +769,24 @@ impl AcWorld<'_> {
 
         // 2. Threshold from the prediction model at the measured load.
         let threshold = cfg.threshold.threshold(cfg.workers_per_group(), offered);
+
+        // Telemetry probes sample the tick-time state the runtime just
+        // computed. Pure reads — dormant (fast-forwarded) groups simply
+        // don't sample, exactly as they don't tick.
+        if self.tel.enabled() {
+            let ids = self.probe_ids[g];
+            let grp = &self.groups[g];
+            let worker_q: usize = (0..grp.running.len())
+                .map(|w| {
+                    grp.running[w].is_some() as usize + grp.waiting[w].len() + grp.in_flight[w]
+                })
+                .sum();
+            self.tel.probe(ids.netrx, now, grp.netrx.len() as f64);
+            self.tel.probe(ids.workers, now, worker_q as f64);
+            self.tel.probe(ids.ewma, now, offered);
+            self.tel.probe(ids.send, now, grp.send_inflight as f64);
+            self.tel.probe(ids.recv, now, grp.recv_fifo as f64);
+        }
 
         // 3. Runtime cost through the sw/hw interface (status read, update,
         //    `concurrency` sends); on ACrss it occupies the manager core and
@@ -805,6 +900,7 @@ impl AcWorld<'_> {
         for o in orders.iter_mut() {
             o.dst = peers[o.dst];
         }
+        let mut migrate_sends = 0u64;
         for (i, order) in self.scratch.orders.iter().enumerate() {
             if cfg.guard_enabled && !guard_allows(q_view[g], q_view[order.dst], order.count) {
                 self.stats.guard_blocked += 1;
@@ -826,6 +922,8 @@ impl AcWorld<'_> {
             q_view[g] = q_view[g].saturating_sub(self.scratch.staged.len() as u32);
             for d in &self.scratch.staged {
                 self.stats.predicted.insert(d.trace_idx);
+                self.tel
+                    .span_point(d.trace_idx as u32, span::MIGRATE_STAGE, g as u32, now);
             }
             // The message owns its descriptor payload; `take` hands the
             // buffer over, so only actual MIGRATE sends (rare) allocate.
@@ -845,7 +943,12 @@ impl AcWorld<'_> {
             let stagger = injection_stagger(i);
             self.groups[g].send_inflight += 1;
             self.stats.migrate_messages += 1;
+            migrate_sends += 1;
             push_msg(q, send_time + lat + stagger, order.dst, msg);
+        }
+        if self.tel.enabled() {
+            self.tel
+                .probe(self.probe_ids[g].migrations, now, migrate_sends as f64);
         }
 
         // 7. Re-arm the period timer while work remains. The next period is
@@ -914,8 +1017,11 @@ impl AcWorld<'_> {
                 let drain = SimDuration::from_ns(1) * descriptors.len() as u64;
                 q.push(now + drain, Ev::RecvDrained(dst));
                 self.stats.migrated_requests += descriptors.len() as u64;
+                self.stats.migrated_per_group[dst] += descriptors.len() as u64;
                 let accepted = descriptors.len();
                 for d in descriptors {
+                    self.tel
+                        .span_point(d.trace_idx as u32, span::MIGRATE_LAND, dst as u32, now);
                     let mut qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
                     qr.migrated = true;
                     self.groups[dst].netrx.push_back(qr);
@@ -937,6 +1043,8 @@ impl AcWorld<'_> {
                 // from the MRs). They remain eligible for future migration.
                 self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
                 for d in descriptors {
+                    self.tel
+                        .span_point(d.trace_idx as u32, span::NACK_RETURN, dst as u32, now);
                     let qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
                     self.groups[dst].netrx.push_back(qr);
                 }
@@ -946,7 +1054,7 @@ impl AcWorld<'_> {
     }
 }
 
-impl World for AcWorld<'_> {
+impl<S: TelemetrySink> World for AcWorld<'_, S> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
@@ -955,6 +1063,11 @@ impl World for AcWorld<'_> {
                 // Arrivals wake a group out of idle fast-forward; the
                 // skipped ticks are replayed before the request lands.
                 self.wake_group(g, now, None, q);
+                let arrival = self.trace.requests()[idx].arrival;
+                self.tel
+                    .span_point(idx as u32, span::ARRIVAL, g as u32, arrival);
+                self.tel
+                    .span_point(idx as u32, span::NETRX_ENQUEUE, g as u32, now);
                 let qr = QueuedRequest::new(idx, self.total_cost(idx), now);
                 self.groups[g].netrx.push_back(qr);
                 self.groups[g].arrivals_since_tick += 1;
@@ -963,6 +1076,9 @@ impl World for AcWorld<'_> {
             Ev::Deliver(g, w, qr) => {
                 // A group with work in flight can never be dormant.
                 debug_assert!(!self.groups[g].dormant, "deliver at a dormant group");
+                let core = self.worker_core(g, w);
+                self.tel
+                    .span_point(qr.idx as u32, span::WORKER_ARRIVE, core, now);
                 self.groups[g].in_flight[w] -= 1;
                 if self.groups[g].running[w].is_none() && self.groups[g].waiting[w].is_empty() {
                     self.start_worker(g, w, qr, now, q);
@@ -975,12 +1091,15 @@ impl World for AcWorld<'_> {
                 let qr = self.groups[g].running[w]
                     .take()
                     .expect("done on idle worker");
+                let core = self.worker_core(g, w);
+                self.tel
+                    .span_point(qr.idx as u32, span::COMPLETE, core, now);
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
                     id: req.id,
                     arrival: req.arrival,
                     finish: now,
-                    core: g * self.cfg.group_size + 1 + w,
+                    core: core as usize,
                     migrated: qr.migrated,
                 });
                 self.completed += 1;

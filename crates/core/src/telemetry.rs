@@ -1,0 +1,101 @@
+//! Altocumulus-specific telemetry vocabulary on top of
+//! [`simcore::telemetry`].
+//!
+//! The engine-side layer is domain-agnostic: a span point is `(track,
+//! kind, loc, time)`. This module pins down what those mean for an
+//! Altocumulus run — tracks are trace request indices, [`span`] kinds are
+//! the request-lifecycle transitions the simulation records, and
+//! [`segment_name`] maps consecutive transitions to the phase names used in
+//! exported traces and the phase-latency table.
+//!
+//! Recording is wired through [`crate::Altocumulus::run_traced`]; this
+//! module turns the captured [`Telemetry`] into artifacts:
+//! [`chrome_trace`] (Perfetto-loadable JSON) and [`phase_table`] (text
+//! breakdown of where requests spend their time).
+
+pub use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
+
+use simcore::report::Table;
+use simcore::telemetry::{chrome_trace_json, phase_latency_table};
+
+/// Span-point kinds recorded by a traced Altocumulus run.
+///
+/// Every request records `ARRIVAL` first and `COMPLETE` last, with the
+/// intermediate points in simulated-time order, so consecutive points
+/// decompose the request's latency exactly: the durations of all segments
+/// sum to `finish - arrival`.
+pub mod span {
+    /// Request arrived at the NIC (timestamped at the trace arrival instant).
+    pub const ARRIVAL: u16 = 0;
+    /// Request landed in its steered manager's NetRX queue (`loc` = group).
+    pub const NETRX_ENQUEUE: u16 = 1;
+    /// Runtime staged the request out of NetRX into a MIGRATE message
+    /// (`loc` = source group).
+    pub const MIGRATE_STAGE: u16 = 2;
+    /// Migrated request landed in the destination NetRX (`loc` = dest group).
+    pub const MIGRATE_LAND: u16 = 3;
+    /// NACKed migration returned the request to the source NetRX.
+    pub const NACK_RETURN: u16 = 4;
+    /// Manager popped the request from NetRX and dispatched it
+    /// (`loc` = worker core id).
+    pub const DISPATCH: u16 = 5;
+    /// Request reached its worker's local queue (`loc` = worker core id).
+    pub const WORKER_ARRIVE: u16 = 6;
+    /// Worker began service (`loc` = worker core id).
+    pub const SERVICE_START: u16 = 7;
+    /// Service finished; the completion was recorded (`loc` = worker core id).
+    pub const COMPLETE: u16 = 8;
+}
+
+/// Phase name of the segment starting at span kind `from`.
+///
+/// The phase a request is in is determined by the transition that *began*
+/// it, so `to` is only needed to disambiguate nothing today (kept in the
+/// signature for forward compatibility with branching lifecycles).
+pub fn segment_name(from: u16, _to: u16) -> &'static str {
+    match from {
+        span::ARRIVAL => "ingress",
+        span::NETRX_ENQUEUE | span::MIGRATE_LAND | span::NACK_RETURN => "netrx_wait",
+        span::MIGRATE_STAGE => "migration",
+        span::DISPATCH => "dispatch",
+        span::WORKER_ARRIVE => "worker_wait",
+        span::SERVICE_START => "service",
+        _ => "other",
+    }
+}
+
+/// Renders the captured spans as Chrome-trace JSON (load the file at
+/// <https://ui.perfetto.dev> or `chrome://tracing`). One `tid` per request,
+/// one complete event per lifecycle phase.
+pub fn chrome_trace(tel: &Telemetry) -> String {
+    chrome_trace_json(&tel.spans, segment_name)
+}
+
+/// Builds the phase-latency breakdown table of the captured spans: per
+/// phase, count, mean/p99 duration, share of total time, and the mean
+/// within the slowest-1% request cohort (where the tail comes from).
+pub fn phase_table(tel: &Telemetry) -> Table {
+    phase_latency_table(&tel.spans, segment_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_span_kind_names_a_phase() {
+        for kind in [
+            span::ARRIVAL,
+            span::NETRX_ENQUEUE,
+            span::MIGRATE_STAGE,
+            span::MIGRATE_LAND,
+            span::NACK_RETURN,
+            span::DISPATCH,
+            span::WORKER_ARRIVE,
+            span::SERVICE_START,
+        ] {
+            assert_ne!(segment_name(kind, span::COMPLETE), "other");
+        }
+        assert_eq!(segment_name(span::COMPLETE, 99), "other");
+    }
+}

@@ -15,10 +15,16 @@
 //! arrivals (the fast-forward accounting and per-instant tick-seq block
 //! reservation must not allocate either).
 //!
+//! A third and fourth regime pin the telemetry layer: disabled telemetry
+//! (the default [`Altocumulus::run_detailed`] path) must stay at the same
+//! zero steady-state budget — the sink is monomorphized away — and enabled
+//! telemetry may add only the recorder's own amortized ring growth (span
+//! log doubling), nothing per-event beyond it.
+//!
 //! Single `#[test]` on purpose: the global counter is process-wide and
 //! sibling tests on other threads would pollute the deltas.
 
-use altocumulus::{AcConfig, Altocumulus};
+use altocumulus::{AcConfig, Altocumulus, Telemetry};
 use simcore::alloc::CountingAlloc;
 use simcore::time::SimDuration;
 use workload::arrival::PoissonProcess;
@@ -47,28 +53,68 @@ fn run(trace: &Trace) -> (u64, u64) {
     (ALLOC.allocations() - before, r.summary.events)
 }
 
-fn assert_pinned(label: &str, small_trace: &Trace, big_trace: &Trace) {
-    // Warmup run so one-time lazy initialization is off the books.
-    let _ = run(small_trace);
+/// Like [`run`], but with a recording [`Telemetry`] sink attached. The
+/// recorder is created *inside* the measured region with a fixed (small)
+/// pre-size, so its constant setup cost cancels between the small and big
+/// runs and only per-event recording cost — which must be amortized ring
+/// growth, i.e. O(log n) reallocations — remains in the delta.
+fn run_traced(trace: &Trace) -> (u64, u64) {
+    let mean = SimDuration::from_ns(850);
+    let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, mean));
+    let before = ALLOC.allocations();
+    let mut tel = Telemetry::with_capacity(1024, 1024);
+    let r = ac.run_traced(trace, &mut tel);
+    assert_eq!(r.system.completions.len(), trace.len());
+    assert!(!tel.spans.is_empty());
+    (ALLOC.allocations() - before, r.summary.events)
+}
 
-    let (allocs_small, events_small) = run(small_trace);
-    let (allocs_big, events_big) = run(big_trace);
+fn assert_pinned_by(
+    label: &str,
+    small_trace: &Trace,
+    big_trace: &Trace,
+    budget: f64,
+    runner: fn(&Trace) -> (u64, u64),
+) {
+    // Warmup run so one-time lazy initialization is off the books.
+    let _ = runner(small_trace);
+
+    let (allocs_small, events_small) = runner(small_trace);
+    let (allocs_big, events_big) = runner(big_trace);
 
     assert!(events_big > events_small, "bigger trace, more events");
     let extra_events = events_big - events_small;
     let extra_allocs = allocs_big.saturating_sub(allocs_small);
     let per_event = extra_allocs as f64 / extra_events as f64;
     assert!(
-        per_event < 0.01,
+        per_event < budget,
         "{label}: steady-state allocation rate {per_event:.4}/event \
          ({extra_allocs} extra allocations over {extra_events} extra events)"
     );
 }
 
+fn assert_pinned(label: &str, small_trace: &Trace, big_trace: &Trace) {
+    assert_pinned_by(label, small_trace, big_trace, 0.01, run);
+}
+
 #[test]
 fn altocumulus_steady_state_allocations_pinned() {
     // Moderate load: the mailbox UPDATE path carries the manager plane.
+    // `run_detailed` *is* the telemetry-disabled mode — the NullSink
+    // monomorphization — so these two regimes double as the
+    // telemetry-disabled zero-budget pin.
     assert_pinned("mailbox", &trace(20_000, 0.6), &trace(60_000, 0.6));
     // Near-idle load: dormancy, wake and idle-tick fast-forward dominate.
     assert_pinned("dormancy", &trace(5_000, 0.05), &trace(15_000, 0.05));
+    // Telemetry enabled: the recorder's span log doubles O(log n) times and
+    // each rare MIGRATE still allocates its descriptor payload; everything
+    // else must reuse capacity. The budget is deliberately a small multiple
+    // of the disabled one, not a relaxation to "anything goes".
+    assert_pinned_by(
+        "telemetry-enabled",
+        &trace(20_000, 0.6),
+        &trace(60_000, 0.6),
+        0.02,
+        run_traced,
+    );
 }

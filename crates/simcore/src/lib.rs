@@ -13,6 +13,8 @@
 //! - [`alloc`]: a counting global allocator for allocation-budget tests.
 //! - [`parallel`]: deterministic thread fan-out for parameter sweeps.
 //! - [`report`]: aligned plain-text tables for experiment output.
+//! - [`telemetry`]: request-lifecycle spans, time-series probes and
+//!   Perfetto/JSONL export behind a zero-cost [`telemetry::TelemetrySink`].
 //!
 //! # Examples
 //!
@@ -72,6 +74,7 @@ pub mod parallel;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::{
@@ -80,4 +83,5 @@ pub use event::{
 pub use metrics::{LatencyHistogram, LatencySummary, SloTracker};
 pub use parallel::{default_threads, parallel_map, seeded_map};
 pub use stats::{batch_means_ci, MeanCi};
+pub use telemetry::{NullSink, Telemetry, TelemetrySink};
 pub use time::{SimDuration, SimTime};

@@ -101,6 +101,51 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Renders as RFC-4180-style CSV: comma-separated, `\n` line ends, and
+    /// cells containing a comma, quote or newline wrapped in double quotes
+    /// (embedded quotes doubled). Ends with a trailing newline.
+    pub fn to_csv(&self) -> String {
+        self.delimited(',')
+    }
+
+    /// Renders as TSV. Cells containing a tab or newline are quoted as in
+    /// [`to_csv`](Self::to_csv). Ends with a trailing newline.
+    pub fn to_tsv(&self) -> String {
+        self.delimited('\t')
+    }
+
+    fn delimited(&self, sep: char) -> String {
+        let quote_cell = |cell: &str, out: &mut String| {
+            if cell.contains(sep) || cell.contains('"') || cell.contains('\n') {
+                out.push('"');
+                for c in cell.chars() {
+                    if c == '"' {
+                        out.push('"');
+                    }
+                    out.push(c);
+                }
+                out.push('"');
+            } else {
+                out.push_str(cell);
+            }
+        };
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(sep);
+                }
+                quote_cell(cell, out);
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
 }
 
 /// Formats a float with 3 significant decimals, trimming noise.
@@ -144,6 +189,23 @@ mod tests {
     fn helpers_format() {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(pct(0.123), "12.30%");
+    }
+
+    #[test]
+    fn csv_and_tsv_render() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["plain", "1"]);
+        t.row(&["needs,quote", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "name,value\nplain,1\n\"needs,quote\",\"say \"\"hi\"\"\"\n"
+        );
+        let tsv = t.to_tsv();
+        assert_eq!(
+            tsv,
+            "name\tvalue\nplain\t1\nneeds,quote\t\"say \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]

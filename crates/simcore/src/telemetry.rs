@@ -1,0 +1,1069 @@
+//! Simulation-native telemetry: request-lifecycle spans, time-series
+//! probes, and structured export.
+//!
+//! The simulator's hot path reports to a [`TelemetrySink`]; worlds are
+//! generic over the sink type, so the default [`NullSink`] monomorphizes
+//! every hook into nothing — telemetry-off runs pay zero instructions and
+//! zero allocations. The recording implementation, [`Telemetry`], captures:
+//!
+//! - **span points** ([`SpanLog`]): timestamped lifecycle transitions of a
+//!   *track* (one request), reconstructable into a contiguous critical-path
+//!   breakdown and exportable as Chrome-trace/Perfetto JSON
+//!   ([`chrome_trace_json`]) or a phase-latency table
+//!   ([`phase_latency_table`]);
+//! - **probe samples** ([`ProbeSet`]): periodic readings of simulation
+//!   state (queue depths, EWMA load, FIFO occupancy) stored in pre-sized
+//!   ring buffers and exportable as JSONL ([`ProbeSet::to_jsonl`]).
+//!
+//! The non-perturbation invariant: a sink only *reads* values the
+//! simulation already computed. Recording never pushes events, consumes
+//! RNG draws, or feeds anything back into the model, so every simulated
+//! number is byte-identical with telemetry on or off (pinned by the
+//! determinism tests in `crates/bench/tests/determinism.rs`).
+//!
+//! [`validate_chrome_trace`] and [`validate_probe_jsonl`] re-parse exported
+//! artifacts with a dependency-free JSON reader; the `trace_lint` binary
+//! and the CI smoke step run them against real exports.
+
+use crate::report::Table;
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Receiver of telemetry emitted by a simulation hot path.
+///
+/// Every method has a no-op default, so `impl TelemetrySink for MySink {}`
+/// plus the overrides you care about is enough. Hot paths should gate any
+/// *extra work* (computing a sample, formatting) behind
+/// [`enabled`](Self::enabled); plain recording calls can be unconditional —
+/// against [`NullSink`] they compile away entirely.
+pub trait TelemetrySink {
+    /// True iff this sink records anything. Lets callers skip computing
+    /// sample values that would be thrown away.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records that `track` (e.g. a request) reached lifecycle point `kind`
+    /// at `at`, at location `loc` (e.g. a core or group id).
+    #[inline]
+    fn span_point(&mut self, _track: u32, _kind: u16, _loc: u32, _at: SimTime) {}
+
+    /// Registers a probe series named `name` for sub-entity `key` (e.g. a
+    /// group id) and returns its series id for later [`probe`](Self::probe)
+    /// calls. The no-op default returns a dummy id.
+    #[inline]
+    fn register_series(&mut self, _name: &'static str, _key: u32) -> u32 {
+        0
+    }
+
+    /// Records one sample of probe series `series`.
+    #[inline]
+    fn probe(&mut self, _series: u32, _at: SimTime, _value: f64) {}
+}
+
+/// The telemetry-off sink: every hook is a no-op and
+/// [`enabled`](TelemetrySink::enabled) is `false`, so monomorphized hot
+/// paths contain no trace of telemetry at all.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {}
+
+/// One recorded lifecycle point of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanPoint {
+    /// The entity this point belongs to (e.g. a trace request index).
+    pub track: u32,
+    /// World-defined lifecycle point kind (e.g. "service start").
+    pub kind: u16,
+    /// World-defined location (e.g. the core or group involved).
+    pub loc: u32,
+    /// Simulated instant of the transition.
+    pub at: SimTime,
+}
+
+/// Append-only log of [`SpanPoint`]s.
+///
+/// Points of one track must be appended in non-decreasing time order (the
+/// natural order for a discrete-event simulation, where recording happens
+/// at the current virtual instant); points of different tracks interleave
+/// freely. Consecutive points of a track delimit one *segment* of its
+/// lifecycle, so a track recorded from arrival to completion decomposes
+/// exactly: segment durations sum to the track's end-to-end latency.
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    points: Vec<SpanPoint>,
+}
+
+impl SpanLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SpanLog::default()
+    }
+
+    /// Creates an empty log with room for `points` entries, so recording
+    /// stays allocation-free until the capacity is exceeded (growth beyond
+    /// it is amortized doubling).
+    pub fn with_capacity(points: usize) -> Self {
+        SpanLog {
+            points: Vec::with_capacity(points),
+        }
+    }
+
+    /// Appends one point.
+    #[inline]
+    pub fn record(&mut self, track: u32, kind: u16, loc: u32, at: SimTime) {
+        self.points.push(SpanPoint {
+            track,
+            kind,
+            loc,
+            at,
+        });
+    }
+
+    /// All recorded points, in recording order.
+    pub fn points(&self) -> &[SpanPoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points grouped by track: a stable sort by track id, so each track's
+    /// points keep their recording (= chronological) order.
+    pub fn sorted_by_track(&self) -> Vec<SpanPoint> {
+        let mut sorted = self.points.clone();
+        sorted.sort_by_key(|p| p.track);
+        sorted
+    }
+
+    /// Calls `f` with every (from, to) pair of consecutive points of the
+    /// same track, across all tracks.
+    pub fn for_each_segment(&self, mut f: impl FnMut(&SpanPoint, &SpanPoint)) {
+        let sorted = self.sorted_by_track();
+        for w in sorted.windows(2) {
+            if w[0].track == w[1].track {
+                f(&w[0], &w[1]);
+            }
+        }
+    }
+}
+
+/// One probe reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSample {
+    /// Simulated instant the reading was taken.
+    pub at: SimTime,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// A pre-sized ring buffer of [`ProbeSample`]s for one series.
+///
+/// The ring allocates its full capacity once at registration; pushes never
+/// allocate. When full, the oldest sample is overwritten and counted in
+/// [`dropped`](Self::dropped).
+#[derive(Debug, Clone)]
+pub struct ProbeRing {
+    name: String,
+    key: u32,
+    capacity: usize,
+    /// Index of the oldest sample once the ring has wrapped.
+    start: usize,
+    samples: Vec<ProbeSample>,
+    dropped: u64,
+}
+
+impl ProbeRing {
+    fn new(name: &str, key: u32, capacity: usize) -> Self {
+        assert!(capacity > 0, "probe ring capacity must be positive");
+        ProbeRing {
+            name: name.to_string(),
+            key,
+            capacity,
+            start: 0,
+            samples: Vec::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, value: f64) {
+        let s = ProbeSample { at, value };
+        if self.samples.len() < self.capacity {
+            self.samples.push(s);
+        } else {
+            self.samples[self.start] = s;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Metric name of the series (e.g. `netrx_depth`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sub-entity key (e.g. the group id).
+    pub fn key(&self) -> u32 {
+        self.key
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained samples in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProbeSample> {
+        self.samples[self.start..]
+            .iter()
+            .chain(self.samples[..self.start].iter())
+    }
+}
+
+/// Default per-series ring capacity of [`ProbeSet`].
+pub const DEFAULT_PROBE_CAPACITY: usize = 4096;
+
+/// A set of named probe series with uniform ring capacity.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    capacity: usize,
+    series: Vec<ProbeRing>,
+}
+
+impl ProbeSet {
+    /// Creates an empty set whose series each retain up to `capacity`
+    /// samples.
+    pub fn new(capacity: usize) -> Self {
+        ProbeSet {
+            capacity,
+            series: Vec::new(),
+        }
+    }
+
+    /// Registers a series and returns its id.
+    pub fn add_series(&mut self, name: &str, key: u32) -> u32 {
+        let id = self.series.len() as u32;
+        self.series.push(ProbeRing::new(name, key, self.capacity));
+        id
+    }
+
+    /// Appends a sample to series `id`. Unknown ids are ignored (debug
+    /// builds assert).
+    #[inline]
+    pub fn push(&mut self, id: u32, at: SimTime, value: f64) {
+        debug_assert!((id as usize) < self.series.len(), "unregistered series");
+        if let Some(ring) = self.series.get_mut(id as usize) {
+            ring.push(at, value);
+        }
+    }
+
+    /// The registered series.
+    pub fn series(&self) -> &[ProbeRing] {
+        &self.series
+    }
+
+    /// Total retained samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series.iter().map(|s| s.len()).sum()
+    }
+
+    /// Renders every retained sample as JSON Lines, one object per line:
+    ///
+    /// ```json
+    /// {"series":"netrx_depth","key":2,"t_ps":1234000,"value":3}
+    /// ```
+    ///
+    /// `t_ps` is the exact picosecond timestamp (no float rounding).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ring in &self.series {
+            for s in ring.iter() {
+                let _ = writeln!(
+                    out,
+                    "{{\"series\":{},\"key\":{},\"t_ps\":{},\"value\":{}}}",
+                    json_string(ring.name()),
+                    ring.key(),
+                    s.at.as_ps(),
+                    json_number(s.value),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Default for ProbeSet {
+    fn default() -> Self {
+        Self::new(DEFAULT_PROBE_CAPACITY)
+    }
+}
+
+/// The recording sink: a [`SpanLog`] plus a [`ProbeSet`].
+///
+/// Create one per run (series registration happens inside the traced run)
+/// and export afterwards. Pre-size with [`with_capacity`](Self::with_capacity)
+/// to keep recording allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Request-lifecycle span points.
+    pub spans: SpanLog,
+    /// Time-series probe rings.
+    pub probes: ProbeSet,
+}
+
+impl Telemetry {
+    /// Creates an empty recorder with default capacities.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Creates a recorder pre-sized for `span_points` lifecycle points and
+    /// `probe_capacity` retained samples per series.
+    pub fn with_capacity(span_points: usize, probe_capacity: usize) -> Self {
+        Telemetry {
+            spans: SpanLog::with_capacity(span_points),
+            probes: ProbeSet::new(probe_capacity),
+        }
+    }
+}
+
+impl TelemetrySink for Telemetry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn span_point(&mut self, track: u32, kind: u16, loc: u32, at: SimTime) {
+        self.spans.record(track, kind, loc, at);
+    }
+
+    fn register_series(&mut self, name: &'static str, key: u32) -> u32 {
+        self.probes.add_series(name, key)
+    }
+
+    #[inline]
+    fn probe(&mut self, series: u32, at: SimTime, value: f64) {
+        self.probes.push(series, at, value);
+    }
+}
+
+/// Renders a [`SpanLog`] as Chrome-trace JSON (the format Perfetto and
+/// `chrome://tracing` load).
+///
+/// Each track becomes one `tid` under `pid` 1; each segment becomes a
+/// complete (`"ph":"X"`) event whose name is `segment_name(from_kind,
+/// to_kind)`. Timestamps are microseconds (the Chrome trace unit) with
+/// picosecond precision preserved in the fractional digits, so segments of
+/// one track are exactly contiguous — which is what the well-nestedness
+/// check of [`validate_chrome_trace`] verifies.
+pub fn chrome_trace_json<F>(log: &SpanLog, mut segment_name: F) -> String
+where
+    F: FnMut(u16, u16) -> &'static str,
+{
+    // ~130 bytes per event; pre-size to avoid quadratic re-growth.
+    let mut out = String::with_capacity(64 + log.len() * 140);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    log.for_each_segment(|a, b| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = a.at.as_ps() as f64 / 1e6;
+        let dur = (b.at.as_ps() - a.at.as_ps()) as f64 / 1e6;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"request\",\"ph\":\"X\",\"ts\":{ts:.6},\
+             \"dur\":{dur:.6},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"from_loc\":{},\"to_loc\":{}}}}}",
+            json_string(segment_name(a.kind, b.kind)),
+            a.track,
+            a.loc,
+            b.loc,
+        );
+    });
+    out.push_str("]}");
+    out
+}
+
+/// Builds the phase-latency breakdown table of a [`SpanLog`]:
+///
+/// | column | meaning |
+/// |---|---|
+/// | `phase` | segment name (first-appearance order) |
+/// | `count` | segments recorded |
+/// | `mean_ns` / `p99_ns` | distribution of that phase's duration |
+/// | `share` | fraction of total recorded time spent in the phase |
+/// | `p99_cohort_mean_ns` | mean duration *within the slowest 1 % of tracks* |
+///
+/// The last column is the "where does the tail come from" view: comparing
+/// it against `mean_ns` shows which phase inflates for the requests that
+/// set the p99.
+pub fn phase_latency_table<F>(log: &SpanLog, mut segment_name: F) -> Table
+where
+    F: FnMut(u16, u16) -> &'static str,
+{
+    // (track, phase index, duration) per segment, phases in first-appearance
+    // order for a deterministic table.
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut name_idx: HashMap<&'static str, usize> = HashMap::new();
+    let mut segments: Vec<(u32, usize, u64)> = Vec::new();
+    let mut track_total: HashMap<u32, u64> = HashMap::new();
+    log.for_each_segment(|a, b| {
+        let name = segment_name(a.kind, b.kind);
+        let idx = *name_idx.entry(name).or_insert_with(|| {
+            names.push(name);
+            names.len() - 1
+        });
+        let dur = b.at.as_ps() - a.at.as_ps();
+        segments.push((a.track, idx, dur));
+        *track_total.entry(a.track).or_insert(0) += dur;
+    });
+
+    // Slowest-1% track cohort by total recorded duration.
+    let mut totals: Vec<u64> = track_total.values().copied().collect();
+    totals.sort_unstable();
+    let cutoff = if totals.is_empty() {
+        0
+    } else {
+        totals[((totals.len() - 1) as f64 * 0.99).round() as usize]
+    };
+
+    let n = names.len();
+    let mut count = vec![0u64; n];
+    let mut sum = vec![0u64; n];
+    let mut durs: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut slow_count = vec![0u64; n];
+    let mut slow_sum = vec![0u64; n];
+    for &(track, idx, dur) in &segments {
+        count[idx] += 1;
+        sum[idx] += dur;
+        durs[idx].push(dur);
+        if track_total[&track] >= cutoff {
+            slow_count[idx] += 1;
+            slow_sum[idx] += dur;
+        }
+    }
+    let grand_total: u64 = sum.iter().sum();
+
+    let mut t = Table::new(&[
+        "phase",
+        "count",
+        "mean_ns",
+        "p99_ns",
+        "share",
+        "p99_cohort_mean_ns",
+    ]);
+    for i in 0..n {
+        durs[i].sort_unstable();
+        let p99 = durs[i][((durs[i].len() - 1) as f64 * 0.99).round() as usize];
+        let mean_ns = sum[i] as f64 / count[i] as f64 / 1e3;
+        let slow_mean_ns = if slow_count[i] > 0 {
+            slow_sum[i] as f64 / slow_count[i] as f64 / 1e3
+        } else {
+            0.0
+        };
+        t.row(&[
+            names[i],
+            &count[i].to_string(),
+            &format!("{mean_ns:.1}"),
+            &format!("{:.1}", p99 as f64 / 1e3),
+            &crate::report::pct(if grand_total > 0 {
+                sum[i] as f64 / grand_total as f64
+            } else {
+                0.0
+            }),
+            &format!("{slow_mean_ns:.1}"),
+        ]);
+    }
+    t
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` always includes a decimal point or exponent — valid JSON.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency-free JSON reading, for validating exported artifacts.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the validator's minimal model; objects keep key
+/// order and allow duplicates, which JSON permits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// First value under `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our exports;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Decode exactly one multi-byte UTF-8 scalar (2-4 bytes
+                    // by the lead byte) — never re-validate the whole tail.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a description (with byte offset) on malformed input or trailing
+/// garbage.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Trace events in the file.
+    pub events: usize,
+    /// Distinct `tid` tracks.
+    pub tracks: usize,
+}
+
+/// Parses `input` as Chrome-trace JSON and checks the structural contract
+/// [`chrome_trace_json`] promises: a `traceEvents` array of complete
+/// (`"ph":"X"`) events with `name`/`ts`/`dur`/`pid`/`tid`, and — per track —
+/// well-nested (here: non-overlapping, since the per-request critical path
+/// is flat) spans when ordered by start time.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed event or overlap found.
+pub fn validate_chrome_trace(input: &str) -> Result<ChromeTraceStats, String> {
+    let doc = parse_json(input)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+    let mut by_track: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| ev.get(k).ok_or_else(|| format!("event {i}: missing {k}"));
+        field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: name not a string"))?;
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: ph not a string"))?;
+        if ph != "X" {
+            return Err(format!("event {i}: expected complete event, got ph={ph}"));
+        }
+        let ts = field("ts")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: ts not a number"))?;
+        let dur = field("dur")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: dur not a number"))?;
+        let tid = field("tid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: tid not a number"))?;
+        field("pid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: pid not a number"))?;
+        if !(ts >= 0.0 && dur >= 0.0) {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        by_track.entry(tid as u64).or_default().push((ts, dur));
+    }
+    // Flat spans: ordered by start, each must begin no earlier than the
+    // previous one ends (1 ns slack for float formatting).
+    const SLACK_US: f64 = 1e-3;
+    for (tid, spans) in &mut by_track {
+        spans.sort_by(|a, b| a.partial_cmp(b).expect("finite ts"));
+        for w in spans.windows(2) {
+            let (ts0, dur0) = w[0];
+            let (ts1, _) = w[1];
+            if ts1 + SLACK_US < ts0 + dur0 {
+                return Err(format!("track {tid}: spans overlap ({ts0}+{dur0} > {ts1})"));
+            }
+        }
+    }
+    Ok(ChromeTraceStats {
+        events: events.len(),
+        tracks: by_track.len(),
+    })
+}
+
+/// Validates a probe-series JSONL export: every non-empty line must be an
+/// object with a string `series`, numeric `key`, integer `t_ps` and numeric
+/// `value`. Returns the number of samples.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_probe_jsonl(input: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let field = |k: &str| {
+            obj.get(k)
+                .ok_or_else(|| format!("line {}: missing {k}", lineno + 1))
+        };
+        field("series")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: series not a string", lineno + 1))?;
+        field("key")?
+            .as_f64()
+            .ok_or_else(|| format!("line {}: key not a number", lineno + 1))?;
+        let t_ps = field("t_ps")?
+            .as_f64()
+            .ok_or_else(|| format!("line {}: t_ps not a number", lineno + 1))?;
+        if t_ps < 0.0 || t_ps.fract() != 0.0 {
+            return Err(format!(
+                "line {}: t_ps not a non-negative integer",
+                lineno + 1
+            ));
+        }
+        field("value")?
+            .as_f64()
+            .ok_or_else(|| format!("line {}: value not a number", lineno + 1))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(track: u32, kind: u16, loc: u32, ns: u64) -> SpanPoint {
+        SpanPoint {
+            track,
+            kind,
+            loc,
+            at: SimTime::from_ns(ns),
+        }
+    }
+
+    fn demo_log() -> SpanLog {
+        let mut log = SpanLog::new();
+        // Track 0: 0 -> 10 -> 30; track 1 interleaved: 5 -> 25.
+        log.record(0, 0, 7, SimTime::from_ns(0));
+        log.record(1, 0, 8, SimTime::from_ns(5));
+        log.record(0, 1, 7, SimTime::from_ns(10));
+        log.record(1, 2, 8, SimTime::from_ns(25));
+        log.record(0, 2, 9, SimTime::from_ns(30));
+        log
+    }
+
+    #[test]
+    fn segments_group_by_track_in_order() {
+        let log = demo_log();
+        let mut seen = Vec::new();
+        log.for_each_segment(|a, b| seen.push((a.track, a.at, b.at)));
+        assert_eq!(
+            seen,
+            vec![
+                (0, SimTime::from_ns(0), SimTime::from_ns(10)),
+                (0, SimTime::from_ns(10), SimTime::from_ns(30)),
+                (1, SimTime::from_ns(5), SimTime::from_ns(25)),
+            ]
+        );
+        assert_eq!(log.points().len(), 5);
+        assert_eq!(log.sorted_by_track()[0], pt(0, 0, 7, 0));
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.span_point(0, 0, 0, SimTime::ZERO);
+        assert_eq!(s.register_series("x", 0), 0);
+        s.probe(0, SimTime::ZERO, 1.0);
+    }
+
+    #[test]
+    fn telemetry_records_through_the_sink_trait() {
+        let mut t = Telemetry::with_capacity(16, 8);
+        assert!(t.enabled());
+        let id = t.register_series("depth", 3);
+        t.probe(id, SimTime::from_ns(1), 2.0);
+        t.span_point(9, 1, 2, SimTime::from_ns(4));
+        assert_eq!(t.probes.sample_count(), 1);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.probes.series()[0].key(), 3);
+    }
+
+    #[test]
+    fn probe_ring_wraps_and_counts_drops() {
+        let mut ring = ProbeRing::new("x", 0, 3);
+        for i in 0..5u64 {
+            ring.push(SimTime::from_ns(i), i as f64);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let vals: Vec<f64> = ring.iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![2.0, 3.0, 4.0], "oldest samples overwritten");
+        let times: Vec<u64> = ring.iter().map(|s| s.at.as_ps()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "chronological order");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let mut probes = ProbeSet::new(4);
+        let a = probes.add_series("netrx_depth", 0);
+        let b = probes.add_series("ewma_erlangs", 1);
+        probes.push(a, SimTime::from_ns(100), 3.0);
+        probes.push(b, SimTime::from_ns(100), 0.75);
+        probes.push(a, SimTime::from_ns(300), 4.0);
+        let jsonl = probes.to_jsonl();
+        assert_eq!(validate_probe_jsonl(&jsonl), Ok(3));
+        assert!(jsonl.contains("\"t_ps\":100000"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let log = demo_log();
+        let json = chrome_trace_json(&log, |from, _to| match from {
+            0 => "queue",
+            1 => "service",
+            _ => "other",
+        });
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(
+            stats,
+            ChromeTraceStats {
+                events: 3,
+                tracks: 2
+            }
+        );
+        assert!(json.contains("\"name\":\"queue\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_spans() {
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0.0,"dur":5.0,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":2.0,"dur":1.0,"pid":1,"tid":1}
+        ]}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // Same spans on different tracks are fine.
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0.0,"dur":5.0,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":2.0,"dur":1.0,"pid":1,"tid":2}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"name\":\"a\"}]}").is_err(),
+            "events must carry ph/ts/dur"
+        );
+        assert!(validate_probe_jsonl("{\"series\":\"x\"}").is_err());
+        assert!(
+            validate_probe_jsonl("{\"series\":\"x\",\"key\":0,\"t_ps\":1.5,\"value\":2}").is_err()
+        );
+    }
+
+    #[test]
+    fn phase_table_sums_to_latency_breakdown() {
+        let log = demo_log();
+        let t = phase_latency_table(&log, |from, _| if from == 0 { "queue" } else { "service" });
+        let rendered = t.render();
+        assert!(rendered.contains("queue"), "{rendered}");
+        assert!(rendered.contains("service"), "{rendered}");
+        // queue: 10ns (track 0) + 20ns (track 1) = 30ns of 50ns total.
+        assert!(rendered.contains("60.00%"), "{rendered}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"s":"x\n\"yA","b":true,"n":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"yA"));
+        assert_eq!(v.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+}
