@@ -29,6 +29,36 @@ echo "==> allocation-regression gate"
 cargo test -p simcore --release --test alloc_budget -- --quiet
 cargo test -p altocumulus --release --test alloc_budget -- --quiet
 
+echo "==> golden figure gate (quick configs)"
+# The --quick figure sweeps are small enough for CI and their stdout is
+# pinned by sha256 fixtures: any determinism break (event ordering, RNG
+# stream leakage, fault-layer perturbation of healthy runs) fails here
+# before a reviewer ever diffs numbers. To bless an intentional change:
+#   cargo run -q -p bench --release --bin <fig> -- --quick \
+#     | sha256sum | awk '{print $1}' > ci/golden/<fig>_quick.sha256
+for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
+  bin=${pair%%:*} name=${pair##*:}
+  cargo run -q -p bench --release --bin "$bin" -- --quick > "target/$name.txt"
+  got=$(sha256sum < "target/$name.txt" | awk '{print $1}')
+  want=$(cat "ci/golden/$name.sha256")
+  if [ "$got" != "$want" ]; then
+    echo "GOLDEN MISMATCH: $bin --quick stdout digest $got != pinned $want" >&2
+    echo "(see target/$name.txt; regenerate ci/golden/$name.sha256 if intentional)" >&2
+    exit 1
+  fi
+done
+
+echo "==> fault-injection smoke (determinism)"
+# A faulted sweep must be byte-identical across invocations *and* across
+# sweep-executor thread counts — faults are part of the deterministic
+# simulation, not noise.
+cargo run -q -p bench --release --bin fault_sweep -- --quick > target/fault_sweep_quick.txt
+cargo run -q -p bench --release --bin fault_sweep -- --quick > target/fault_sweep_b.txt
+SWEEP_THREADS=4 cargo run -q -p bench --release --bin fault_sweep -- --quick > target/fault_sweep_c.txt
+cmp target/fault_sweep_quick.txt target/fault_sweep_b.txt
+cmp target/fault_sweep_quick.txt target/fault_sweep_c.txt
+rm -f target/fault_sweep_b.txt target/fault_sweep_c.txt
+
 echo "==> telemetry-export smoke"
 # Export a real trace from the hotpath harness and lint it: the Chrome-trace
 # JSON must parse with well-nested per-request spans, and every probe JSONL

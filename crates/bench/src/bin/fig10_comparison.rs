@@ -72,11 +72,23 @@ fn main() {
     let systems = [
         "IX", "ZygOS", "Shinjuku", "RPCValet", "Nebula", "nanoPU", "AC_rss",
     ];
-    let loads = [
-        0.02, 0.05, 0.08, 0.1, 0.13, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
-    ];
+    // `--quick` shrinks the sweep to a CI-sized smoke whose stdout is
+    // pinned by a golden sha256 fixture (see ci.sh); keep its output
+    // deterministic and in sync with ci/golden/.
+    let quick = has_flag("--quick");
+    let requests = if quick { 20_000 } else { REQUESTS };
+    let loads: &[f64] = if quick {
+        &[0.05, 0.2, 0.5, 0.8]
+    } else {
+        &[
+            0.02, 0.05, 0.08, 0.1, 0.13, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+        ]
+    };
 
-    println!("Fig. 10: p99 vs throughput, {CORES} cores, {dist}, SLO p99 <= 300us\n");
+    println!(
+        "Fig. 10: p99 vs throughput, {CORES} cores, {dist}, SLO p99 <= 300us{}\n",
+        if quick { " [quick]" } else { "" }
+    );
 
     // One job per (system, load) cell. Every `RpcSystem::run` reseeds its
     // RNG streams from config, so a fresh system per cell yields the same
@@ -86,8 +98,8 @@ fn main() {
         .iter()
         .flat_map(|&name| loads.iter().map(move |&load| (name, load)))
         .collect();
-    let cells = parallel_map(jobs, bench::sweep_threads(), |(name, load)| {
-        let trace = poisson_trace(dist, load, CORES, REQUESTS, 128, 10);
+    let cells = parallel_map(jobs, bench::sweep_threads(), move |(name, load)| {
+        let trace = poisson_trace(dist, load, CORES, requests, 128, 10);
         let mut sys = make_system(name);
         let r = sys.run(&trace);
         point_from(&r, load, slo)
@@ -157,7 +169,7 @@ fn main() {
     // Files + stderr only, so stdout stays byte-identical with or without
     // the flag.
     if let Some(path) = trace_out_arg() {
-        let trace = poisson_trace(dist, 0.3, CORES, REQUESTS / 10, 128, 10);
+        let trace = poisson_trace(dist, 0.3, CORES, requests / 10, 128, 10);
         let mut tel = capture_telemetry(trace.len());
         let mut cfg = AcConfig::ac_rss(1, 16, dist.mean());
         cfg.stack = StackModel::nano_rpc();

@@ -15,7 +15,7 @@
 use altocumulus::accounting::prediction_accuracy;
 use altocumulus::telemetry::phase_table;
 use altocumulus::{AcConfig, Altocumulus};
-use bench::{capture_telemetry, export_trace, parallel_map, trace_out_arg};
+use bench::{capture_telemetry, export_trace, has_flag, parallel_map, trace_out_arg};
 use queueing::ThresholdModel;
 use schedulers::common::RpcSystem;
 use schedulers::dfcfs::{DFcfs, DFcfsConfig};
@@ -29,17 +29,17 @@ use workload::ServiceDistribution;
 
 const REQUESTS: usize = 200_000;
 
-fn trace_for(cores: usize, load: f64, real_world: bool, seed: u64) -> Trace {
+fn trace_for(cores: usize, load: f64, real_world: bool, seed: u64, requests: usize) -> Trace {
     let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
     let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
     if real_world {
         // Independently-bursty hot flows (one connection each), several per
         // group, so bursts concentrate on individual receive queues.
         let clusters = (cores / 8).max(4) as u32;
-        clustered_bursty(dist, rate, clusters, 1, REQUESTS, seed)
+        clustered_bursty(dist, rate, clusters, 1, requests, seed)
     } else {
         TraceBuilder::new(PoissonProcess::new(rate), dist)
-            .requests(REQUESTS)
+            .requests(requests)
             .connections((cores * 16) as u32)
             .seed(seed)
             .build()
@@ -75,7 +75,16 @@ fn tput_at_slo(mut run_at: impl FnMut(f64) -> (f64, SimDuration), slo: SimDurati
 
 fn main() {
     let slo = SimDuration::from_ns(8500); // 10 x 850ns
-    let core_counts = [16usize, 64, 128, 256];
+                                          // `--quick` shrinks the sweep to a CI-sized smoke whose stdout is
+                                          // pinned by a golden sha256 fixture (see ci.sh); keep its output
+                                          // deterministic and in sync with ci/golden/.
+    let quick = has_flag("--quick");
+    let requests = if quick { 20_000 } else { REQUESTS };
+    let core_counts: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 128, 256]
+    };
 
     for real_world in [false, true] {
         let title = if real_world {
@@ -83,7 +92,7 @@ fn main() {
         } else {
             "(1) Poisson, fixed 850ns service"
         };
-        println!("--- {title} ---");
+        println!("--- {title}{} ---", if quick { " [quick]" } else { "" });
         // One job per (cores, system): the 256-core sweeps dominate, so
         // splitting by system (not just by core count) lets the executor
         // overlap them instead of serializing behind one giant job.
@@ -101,7 +110,7 @@ fn main() {
             };
             tput_at_slo(
                 |load| {
-                    let t = trace_for(cores, load, real_world, 51);
+                    let t = trace_for(cores, load, real_world, 51, requests);
                     let r = sys.run(&t);
                     (r.throughput_rps() / 1e6, r.p99())
                 },
@@ -119,7 +128,7 @@ fn main() {
             .collect();
         let accs = parallel_map(acc_jobs, bench::sweep_threads(), |(cores, opt_load)| {
             if opt_load > 0.0 {
-                let t = trace_for(cores, opt_load, real_world, 51);
+                let t = trace_for(cores, opt_load, real_world, 51, requests);
                 let mut po = opt(cores);
                 po.predict_only = true;
                 let run = Altocumulus::new(po).run_detailed(&t);

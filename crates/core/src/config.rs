@@ -5,6 +5,7 @@ use crate::runtime::predictor::ThresholdPolicy;
 use queueing::threshold::ThresholdModel;
 use rpcstack::nic::Steering;
 use rpcstack::stack::StackModel;
+use simcore::faults::FaultPlan;
 use simcore::time::SimDuration;
 
 /// How the NIC attaches to the CPU (paper §VII-A).
@@ -55,6 +56,48 @@ pub enum ControlPlane {
     /// differential-testing oracle (like `BinaryHeapQueue` for the calendar
     /// queue).
     EventDriven,
+}
+
+/// Graceful-degradation policy: how the system reacts to the faults a
+/// [`FaultPlan`] injects. The default turns every optional reaction off so
+/// that healthy runs keep today's byte-identical behavior; fault studies
+/// opt into [`Resilience::hardened`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// After a NACK (or a migrate timeout), refuse to plan migrations to
+    /// that destination for this long. `None` = no backoff: NACKed
+    /// descriptors simply requeue, exactly the pre-fault-layer behavior.
+    pub nack_backoff: Option<SimDuration>,
+    /// Declare a staged MIGRATE lost if no ACK/NACK arrives within this
+    /// window, then resteer its descriptors back into the local NetRX.
+    /// `None` disables the timer (but manager failures in the plan imply a
+    /// 50 µs default so migrations to dead managers cannot hang forever).
+    pub migrate_timeout: Option<SimDuration>,
+    /// Delay between a manager's death and a neighbor group assuming its
+    /// NetRX queue (failure-detection plus handoff cost).
+    pub takeover_delay: SimDuration,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            nack_backoff: None,
+            migrate_timeout: None,
+            takeover_delay: SimDuration::from_us(1),
+        }
+    }
+}
+
+impl Resilience {
+    /// The fault-study policy: 2 µs NACK backoff, 50 µs migrate timeout,
+    /// 1 µs takeover delay.
+    pub fn hardened() -> Self {
+        Resilience {
+            nack_backoff: Some(SimDuration::from_us(2)),
+            migrate_timeout: Some(SimDuration::from_us(50)),
+            takeover_delay: SimDuration::from_us(1),
+        }
+    }
 }
 
 /// Full configuration of an Altocumulus system.
@@ -111,6 +154,11 @@ pub struct AcConfig {
     pub steering: Steering,
     /// Simulator execution strategy for the manager control plane.
     pub control_plane: ControlPlane,
+    /// Injected faults. The default (empty) plan reproduces healthy runs
+    /// byte-for-byte; see [`simcore::faults`].
+    pub faults: FaultPlan,
+    /// Degradation policy applied when faults strike.
+    pub resilience: Resilience,
     /// RNG seed.
     pub seed: u64,
 }
@@ -140,6 +188,8 @@ impl AcConfig {
             tenancy: None,
             steering: Steering::rss(),
             control_plane: ControlPlane::Elided,
+            faults: FaultPlan::default(),
+            resilience: Resilience::default(),
             seed: 0,
         }
     }
@@ -192,6 +242,40 @@ impl AcConfig {
                 t.groups(),
                 self.groups,
                 "tenancy must assign every group exactly once"
+            );
+        }
+        self.faults.validate();
+        for f in &self.faults.worker_failures {
+            assert!(
+                f.core < self.total_cores(),
+                "worker failure targets core {} of {}",
+                f.core,
+                self.total_cores()
+            );
+            assert!(
+                f.core % self.group_size != 0,
+                "core {} is a manager tile; use manager_failures",
+                f.core
+            );
+        }
+        for f in &self.faults.manager_failures {
+            assert!(
+                f.group < self.groups,
+                "manager failure targets group {} of {}",
+                f.group,
+                self.groups
+            );
+            assert!(
+                self.groups > 1,
+                "manager failure needs a neighbor group for takeover"
+            );
+        }
+        for s in &self.faults.fifo_stalls {
+            assert!(
+                s.group < self.groups,
+                "fifo stall targets group {} of {}",
+                s.group,
+                self.groups
             );
         }
     }

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 pub struct BoundedFifo<T> {
     items: VecDeque<T>,
     capacity: usize,
+    stalled: bool,
 }
 
 impl<T> BoundedFifo<T> {
@@ -37,6 +38,7 @@ impl<T> BoundedFifo<T> {
         BoundedFifo {
             items: VecDeque::with_capacity(capacity),
             capacity,
+            stalled: false,
         }
     }
 
@@ -52,11 +54,29 @@ impl<T> BoundedFifo<T> {
     ///
     /// Returns `Err(value)` when the FIFO is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
-        if self.items.len() >= self.capacity {
+        if self.stalled || self.items.len() >= self.capacity {
             return Err(value);
         }
         self.items.push_back(value);
         Ok(())
+    }
+
+    /// Stalls the FIFO: until [`unstall`](Self::unstall), every push is
+    /// rejected and the FIFO reports full regardless of occupancy. Models a
+    /// fault-injected controller wedge (the NACK-storm scenario); draining
+    /// via [`pop`](Self::pop) still works.
+    pub fn stall(&mut self) {
+        self.stalled = true;
+    }
+
+    /// Clears a [`stall`](Self::stall); occupancy-based semantics resume.
+    pub fn unstall(&mut self) {
+        self.stalled = false;
+    }
+
+    /// True while the FIFO is fault-stalled.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
     }
 
     /// Dequeues the head, if any.
@@ -74,9 +94,10 @@ impl<T> BoundedFifo<T> {
         self.items.is_empty()
     }
 
-    /// True iff at capacity.
+    /// True iff at capacity (or fault-stalled — a stalled FIFO presents as
+    /// full to the controller, which is what triggers the NACK).
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        self.stalled || self.items.len() >= self.capacity
     }
 
     /// Remaining free slots.
@@ -134,5 +155,20 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn stall_rejects_pushes_and_presents_full() {
+        let mut f = BoundedFifo::new(4);
+        f.push(1).unwrap();
+        f.stall();
+        assert!(f.is_stalled());
+        assert!(f.is_full(), "a stalled FIFO presents as full");
+        assert_eq!(f.push(2), Err(2));
+        // Draining still works while stalled.
+        assert_eq!(f.pop(), Some(1));
+        f.unstall();
+        assert!(!f.is_full());
+        assert!(f.push(2).is_ok());
     }
 }

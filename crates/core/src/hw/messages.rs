@@ -35,6 +35,11 @@ pub enum Message {
         dst: usize,
         /// The batched descriptors (req_num = len()).
         descriptors: Vec<Descriptor>,
+        /// Exchange token correlating this MIGRATE with its ACK/NACK (and
+        /// with the sender's staged-migration timeout under fault
+        /// injection). `0` = untracked; otherwise `pending_id + 1`. Rides in
+        /// the existing header's req_num field, so it adds no wire bytes.
+        token: u64,
     },
     /// Broadcast of the local queue depth (Table II: UPDATE).
     Update {
@@ -50,6 +55,9 @@ pub enum Message {
         src: usize,
         /// Number of descriptors accepted.
         accepted: usize,
+        /// Token echoed from the MIGRATE being acknowledged (`0` =
+        /// untracked).
+        token: u64,
     },
     /// Reject a MIGRATE (full receive FIFO / MRs); descriptors ride back so
     /// the simulated source can restore them (in hardware they were never
@@ -59,6 +67,8 @@ pub enum Message {
         src: usize,
         /// The rejected descriptors.
         descriptors: Vec<Descriptor>,
+        /// Token echoed from the MIGRATE being rejected (`0` = untracked).
+        token: u64,
     },
 }
 
@@ -106,6 +116,7 @@ mod tests {
             src: 0,
             dst: 1,
             descriptors: vec![desc(1)],
+            token: 0,
         };
         assert_eq!(m.wire_bytes(), HEADER_BYTES + 14);
     }
@@ -116,6 +127,7 @@ mod tests {
             src: 0,
             dst: 1,
             descriptors: (0..40).map(desc).collect(),
+            token: 0,
         };
         assert_eq!(m.wire_bytes(), 16 + 14 * 40);
     }
@@ -133,7 +145,8 @@ mod tests {
         assert_eq!(
             Message::Ack {
                 src: 0,
-                accepted: 8
+                accepted: 8,
+                token: 0
             }
             .wire_bytes(),
             16
@@ -141,7 +154,8 @@ mod tests {
         assert_eq!(
             Message::Nack {
                 src: 0,
-                descriptors: vec![desc(0); 8]
+                descriptors: vec![desc(0); 8],
+                token: 0
             }
             .wire_bytes(),
             16
@@ -162,7 +176,8 @@ mod tests {
             Message::Migrate {
                 src: 0,
                 dst: 1,
-                descriptors: vec![]
+                descriptors: vec![],
+                token: 0
             }
             .label(),
             "MIGRATE"
@@ -176,6 +191,7 @@ mod tests {
             src: 0,
             dst: 1,
             descriptors: vec![desc(0)],
+            token: 0,
         };
         assert!(m.wire_bytes() < 2048 / 10);
     }

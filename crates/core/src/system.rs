@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Transfer};
 use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
+use simcore::faults::{NocDecision, NocFaultRng};
 use simcore::rng::{stream_rng, streams};
 use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
@@ -53,6 +54,35 @@ pub struct MigrationStats {
     pub predicted: PredictedSet,
 }
 
+/// Counters describing fault injection and graceful degradation during a
+/// run. All zero on a healthy run (empty [`simcore::faults::FaultPlan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker cores that failed.
+    pub worker_failures: u64,
+    /// Manager cores that failed.
+    pub manager_failures: u64,
+    /// Failed-manager takeovers completed by a neighbor group.
+    pub takeovers: u64,
+    /// Requests returned to a NetRX queue by any recovery action (dead
+    /// worker, migrate timeout, takeover adoption).
+    pub resteered_requests: u64,
+    /// Arrivals steered to a dead manager and redirected to its heir.
+    pub redirected_arrivals: u64,
+    /// Staged MIGRATEs declared lost after the resilience timeout.
+    pub migrate_timeouts: u64,
+    /// UPDATE messages dropped by the faulty NoC.
+    pub updates_dropped: u64,
+    /// Messages delayed by the faulty NoC.
+    pub messages_delayed: u64,
+    /// Migration orders skipped because the destination was dead or in
+    /// NACK/timeout backoff.
+    pub backoff_skipped: u64,
+    /// Requests evacuated by the emergency drain (a group whose workers all
+    /// died pushing its queue to a live peer).
+    pub emergency_migrations: u64,
+}
+
 /// Result of an Altocumulus run: the standard [`SystemResult`] plus
 /// migration accounting.
 #[derive(Debug, Clone)]
@@ -63,6 +93,8 @@ pub struct AcResult {
     pub stats: MigrationStats,
     /// Event-loop accounting (events processed, peak queue population).
     pub summary: RunSummary,
+    /// Fault-injection and recovery counters.
+    pub faults: FaultStats,
 }
 
 /// The simulated Altocumulus system.
@@ -178,6 +210,34 @@ impl Altocumulus {
         } else {
             Vec::new()
         };
+        // Fault-layer state exists only for a non-empty plan; the extra
+        // "fault_mark" probe series likewise, so healthy traced runs keep
+        // the exact pre-fault-layer export schema.
+        let faults: Option<Box<FaultState>> = if cfg.faults.is_empty() {
+            None
+        } else {
+            let fault_probes = if tel.enabled() {
+                (0..cfg.groups)
+                    .map(|g| tel.register_series("fault_mark", g as u32))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Some(Box::new(FaultState {
+                noc: cfg.faults.noc_rng(),
+                dead: vec![vec![false; cfg.workers_per_group()]; cfg.groups],
+                epoch: vec![vec![0; cfg.workers_per_group()]; cfg.groups],
+                mgr_dead: vec![false; cfg.groups],
+                heir: vec![None; cfg.groups],
+                backoff: vec![vec![SimTime::ZERO; cfg.groups]; cfg.groups],
+                pending: Vec::new(),
+                migrate_timeout: cfg.resilience.migrate_timeout.or_else(|| {
+                    (!cfg.faults.manager_failures.is_empty()).then(|| SimDuration::from_us(50))
+                }),
+                stats: FaultStats::default(),
+                probe_ids: fault_probes,
+            }))
+        };
         let groups = (0..cfg.groups)
             .map(|_| Group {
                 netrx: VecDeque::new(),
@@ -242,6 +302,7 @@ impl Altocumulus {
             result: SystemResult::with_capacity(trace.len()),
             tel,
             probe_ids,
+            faults,
         };
         if cfg.migration_enabled && cfg.groups > 1 {
             let first = SimTime::ZERO + cfg.period;
@@ -249,12 +310,27 @@ impl Altocumulus {
                 world.schedule_next_tick(g, first, false, &mut queue);
             }
         }
+        // Fault strikes from the plan. Pushed after the arrival-seq
+        // reservation and the initial ticks, so with an empty plan (no
+        // pushes) the queue's seq evolution is untouched.
+        if world.faults.is_some() {
+            for f in &cfg.faults.worker_failures {
+                let g = f.core / cfg.group_size;
+                let w = f.core % cfg.group_size - 1;
+                queue.push(f.at, Ev::Fault(FaultEv::WorkerFail(g, w)));
+            }
+            for f in &cfg.faults.manager_failures {
+                queue.push(f.at, Ev::Fault(FaultEv::ManagerFail(f.group)));
+            }
+        }
         let summary = run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.finalize_idle_accounting(summary.end_time);
+        let fault_stats = world.faults.as_ref().map(|f| f.stats).unwrap_or_default();
         AcResult {
             system: world.result,
             stats: world.stats,
             summary,
+            faults: fault_stats,
         }
     }
 }
@@ -279,8 +355,11 @@ enum Ev {
     Enqueue(usize, usize),
     /// Dispatched request lands at worker `(group, worker)`.
     Deliver(usize, usize, QueuedRequest),
-    /// Worker `(group, worker)` finished its request.
-    WorkerDone(usize, usize),
+    /// Worker `(group, worker)` finished its request. The third field is
+    /// the worker's liveness epoch at service start: a completion whose
+    /// epoch no longer matches is stale — the worker died mid-service and
+    /// the request was already resteered. Always `0` on healthy runs.
+    WorkerDone(usize, usize, u32),
     /// Serialized manager operation (ACrss dispatch) completed.
     MgrOpDone(usize),
     /// Runtime period boundary for manager `group`.
@@ -300,6 +379,22 @@ enum Ev {
     },
     /// Receive-FIFO slot at manager `group` drained by the migrator.
     RecvDrained(usize),
+    /// A scheduled fault strikes, or a fault-recovery timer fires. Only
+    /// pushed when the configured [`simcore::faults::FaultPlan`] is
+    /// non-empty.
+    Fault(FaultEv),
+}
+
+/// Fault-plan events and recovery timers (see [`Ev::Fault`]).
+enum FaultEv {
+    /// Worker `(group, worker)` fails permanently.
+    WorkerFail(usize, usize),
+    /// Manager of `group` fails permanently.
+    ManagerFail(usize),
+    /// A neighbor group adopts failed manager `group`'s NetRX queue.
+    Takeover(usize),
+    /// The resilience timeout for pending MIGRATE `id` expires.
+    MigrateTimeout(usize),
 }
 
 struct Group {
@@ -347,14 +442,18 @@ struct MailEntry {
 }
 
 impl Group {
-    /// Least-loaded worker with occupancy below `bound`.
+    /// Least-loaded worker with occupancy below `bound`. Workers flagged in
+    /// `dead` never dispatch; an empty slice (healthy run) means none are.
     ///
     /// Each worker's occupancy (`running + waiting + in_flight`) is computed
     /// exactly once; ties keep the lowest-index worker, matching the
     /// first-minimal semantics of `min_by_key`.
-    fn free_worker(&self, bound: usize) -> Option<usize> {
+    fn free_worker(&self, bound: usize, dead: &[bool]) -> Option<usize> {
         let mut best: Option<(usize, usize)> = None; // (occupancy, worker)
         for w in 0..self.running.len() {
+            if !dead.is_empty() && dead[w] {
+                continue;
+            }
             let occ =
                 self.running[w].is_some() as usize + self.waiting[w].len() + self.in_flight[w];
             if occ < bound && best.is_none_or(|(b, _)| occ < b) {
@@ -398,19 +497,23 @@ struct TickScratch {
 
 /// Pops up to `count` not-yet-migrated requests from the *tail* of `netrx`
 /// (the paper migrates from Tail) into `staged`, skipping — and restoring in
-/// place — entries that already migrated once.
+/// place — entries that already migrated once. `allow_remigrate` lifts the
+/// at-most-once restriction; only the emergency drain (every worker of the
+/// holding group dead) uses it, since leaving a once-migrated request in a
+/// workerless group would strand it forever.
 fn stage_from_tail(
     netrx: &mut VecDeque<QueuedRequest>,
     trace: &Trace,
     count: usize,
     staged: &mut Vec<Descriptor>,
     skipped: &mut Vec<QueuedRequest>,
+    allow_remigrate: bool,
 ) {
     staged.clear();
     skipped.clear();
     while staged.len() < count {
         let Some(qr) = netrx.pop_back() else { break };
-        if qr.migrated {
+        if qr.migrated && !allow_remigrate {
             skipped.push(qr);
         } else {
             staged.push(Descriptor {
@@ -425,6 +528,63 @@ fn stage_from_tail(
     while let Some(qr) = skipped.pop() {
         netrx.push_back(qr);
     }
+}
+
+/// Lifecycle of one tracked (timeout-armed) MIGRATE exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingState {
+    /// Sent; neither landed at the destination nor timed out yet.
+    Outstanding,
+    /// Landed (accepted) at the destination, or its NACK reached us — the
+    /// exchange is settled and the timeout is a no-op.
+    Resolved,
+    /// The timeout fired first: the source resteered the descriptors, and
+    /// any late MIGRATE/ACK/NACK carrying this token is dropped to keep
+    /// delivery at-most-once.
+    TimedOut,
+}
+
+/// Sender-side record of one in-flight MIGRATE, kept only while the
+/// resilience migrate-timeout is armed. The descriptors are a clone of the
+/// message payload so a timeout can resteer them without the message.
+#[derive(Debug)]
+struct PendingMigrate {
+    src: usize,
+    dst: usize,
+    descriptors: Vec<Descriptor>,
+    state: PendingState,
+}
+
+/// All mutable fault-layer state. Boxed behind an `Option` that is `None`
+/// exactly when the configured plan is empty, so healthy runs allocate
+/// nothing and branch only on the discriminant.
+struct FaultState {
+    /// NoC drop/delay decider (its RNG stream is isolated from the
+    /// workload's).
+    noc: Option<NocFaultRng>,
+    /// Dead flags per `[group][worker]`.
+    dead: Vec<Vec<bool>>,
+    /// Liveness epoch per `[group][worker]`; bumped on death so in-flight
+    /// `WorkerDone` events from the pre-death service are recognized stale.
+    epoch: Vec<Vec<u32>>,
+    /// Dead flags per manager.
+    mgr_dead: Vec<bool>,
+    /// Takeover heir of each dead manager, once elected.
+    heir: Vec<Option<usize>>,
+    /// `backoff[src][dst]`: until when `src` refuses to plan migrations to
+    /// `dst` (NACK-storm / timeout backoff).
+    backoff: Vec<Vec<SimTime>>,
+    /// Timeout-tracked MIGRATE exchanges, indexed by token - 1.
+    pending: Vec<PendingMigrate>,
+    /// Effective migrate timeout: the configured resilience value, or a
+    /// 50 µs default whenever the plan kills managers (a MIGRATE to a dead
+    /// manager would otherwise leak its send-FIFO slot forever).
+    migrate_timeout: Option<SimDuration>,
+    stats: FaultStats,
+    /// Per-group "fault_mark" probe series; registered only when both
+    /// telemetry and the fault plan are active, so the healthy export
+    /// schema is unchanged.
+    probe_ids: Vec<u32>,
 }
 
 /// Probe-series ids of one group, handed back by the sink at registration.
@@ -472,6 +632,10 @@ struct AcWorld<'t, S: TelemetrySink> {
     tel: &'t mut S,
     /// Per-group probe-series ids; empty when the sink is disabled.
     probe_ids: Vec<ProbeIds>,
+    /// Fault-layer state; `None` exactly when the plan is empty, which is
+    /// the byte-identity guarantee: every fault branch hides behind this
+    /// discriminant.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Serialization of back-to-back message injections from one runtime
@@ -499,6 +663,47 @@ fn push_msg(q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
     q.push_at_seq(at, seq, Ev::Msg { dst, seq, msg });
 }
 
+/// [`AcWorld::send_msg`] as a free function over just the fault state, so
+/// call sites holding borrows of other `AcWorld` fields (the tick's scratch
+/// buffers) can still route sends through the faulty NoC. Without NoC faults
+/// this is exactly [`push_msg`]. UPDATEs ride the lossy gossip channel (drop
+/// or delay); MIGRATE/ACK/NACK ride the reliable channel (delay only) — loss
+/// of those is modelled solely by dead destination tiles, which the
+/// resilience timeout recovers from.
+fn send_msg_via(
+    faults: &mut Option<Box<FaultState>>,
+    q: &mut EventQueue<Ev>,
+    at: SimTime,
+    dst: usize,
+    msg: Message,
+) {
+    let decision = match faults.as_mut().and_then(|f| f.noc.as_mut()) {
+        None => NocDecision::Deliver,
+        Some(noc) => match msg {
+            Message::Update { .. } => noc.lossy(),
+            _ => noc.reliable(),
+        },
+    };
+    match decision {
+        NocDecision::Deliver => push_msg(q, at, dst, msg),
+        NocDecision::Drop => {
+            faults
+                .as_mut()
+                .expect("fault decision")
+                .stats
+                .updates_dropped += 1;
+        }
+        NocDecision::Delay(d) => {
+            faults
+                .as_mut()
+                .expect("fault decision")
+                .stats
+                .messages_delayed += 1;
+            push_msg(q, at + d, dst, msg);
+        }
+    }
+}
+
 impl<S: TelemetrySink> AcWorld<'_, S> {
     /// Total on-core cost for trace request `idx`.
     fn total_cost(&self, idx: usize) -> SimDuration {
@@ -518,6 +723,62 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
 
     fn elided(&self) -> bool {
         self.cfg.control_plane == ControlPlane::Elided
+    }
+
+    /// Dead-worker flags of group `g`; the empty slice on healthy runs.
+    fn dead_of(&self, g: usize) -> &[bool] {
+        match &self.faults {
+            Some(f) => &f.dead[g],
+            None => &[],
+        }
+    }
+
+    /// True when group `g`'s manager has failed.
+    fn mgr_is_dead(&self, g: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.mgr_dead[g])
+    }
+
+    /// Liveness epoch of worker `(g, w)`; `0` on healthy runs.
+    fn epoch_of(&self, g: usize, w: usize) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.epoch[g][w])
+    }
+
+    /// Follows the takeover-heir chain from `g` to the group currently
+    /// responsible for its NetRX queue. Identity on healthy runs, and for a
+    /// dead group whose takeover has not completed yet (its queue is
+    /// adopted wholesale when it does).
+    fn live_group(&self, mut g: usize) -> usize {
+        if let Some(fs) = &self.faults {
+            while fs.mgr_dead[g] {
+                match fs.heir[g] {
+                    Some(h) => g = h,
+                    None => break,
+                }
+            }
+        }
+        g
+    }
+
+    /// Samples group `g`'s "fault_mark" probe series with a fault-kind code
+    /// (1 = worker fail, 2 = manager fail, 3 = takeover, 4 = migrate
+    /// timeout). No-op unless both telemetry and the fault plan are active.
+    fn fault_mark(&mut self, g: usize, now: SimTime, code: f64) {
+        if self.tel.enabled() {
+            if let Some(fs) = &self.faults {
+                if !fs.probe_ids.is_empty() {
+                    self.tel.probe(fs.probe_ids[g], now, code);
+                }
+            }
+        }
+    }
+
+    /// Sends a protocol message through the (possibly faulty) NoC. Without
+    /// NoC faults this is exactly [`push_msg`]. UPDATEs ride the lossy
+    /// gossip channel (drop or delay); MIGRATE/ACK/NACK ride the reliable
+    /// channel (delay only) — loss of those is modelled solely by dead
+    /// destination tiles, which the resilience timeout recovers from.
+    fn send_msg(&mut self, q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
+        send_msg_via(&mut self.faults, q, at, dst, msg);
     }
 
     /// Applies every mailboxed UPDATE whose legacy event would have popped
@@ -678,12 +939,17 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     /// serializes 70-cycle manager operations carrying up to
     /// `dispatch_batch` descriptors.
     fn try_dispatch(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.mgr_is_dead(g) {
+            // Nobody left to pop NetRX; the takeover heir adopts the queue.
+            return;
+        }
         match self.cfg.attachment {
             Attachment::Integrated => loop {
                 if self.groups[g].netrx.is_empty() {
                     return;
                 }
-                let Some(w) = self.groups[g].free_worker(self.cfg.local_bound) else {
+                let Some(w) = self.groups[g].free_worker(self.cfg.local_bound, self.dead_of(g))
+                else {
                     return;
                 };
                 let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
@@ -715,7 +981,8 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     if self.groups[g].netrx.is_empty() {
                         break;
                     }
-                    let Some(w) = self.groups[g].free_worker(self.cfg.local_bound) else {
+                    let Some(w) = self.groups[g].free_worker(self.cfg.local_bound, self.dead_of(g))
+                    else {
                         break;
                     };
                     let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
@@ -748,11 +1015,152 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         let core = self.worker_core(g, w);
         self.tel
             .span_point(qr.idx as u32, span::SERVICE_START, core, now);
+        // Straggler intervals inflate the wall time of service *started*
+        // inside them. `inflate` returns the input bit-for-bit when no
+        // straggler covers this core/instant, and the whole branch is
+        // absent on healthy runs.
+        let wall = if self.faults.is_some() {
+            self.cfg.faults.inflate(core as usize, now, qr.remaining)
+        } else {
+            qr.remaining
+        };
         self.groups[g].running[w] = Some(qr);
-        q.push(now + qr.remaining, Ev::WorkerDone(g, w));
+        q.push(now + wall, Ev::WorkerDone(g, w, self.epoch_of(g, w)));
+    }
+
+    /// Returns a recovered request to the NetRX queue currently serving
+    /// group `g` (the group itself, or its takeover heir), stamping the
+    /// resteer span and the fault-stats counter. Returns the target group so
+    /// the caller can re-dispatch once per batch.
+    fn resteer(&mut self, g: usize, idx: usize, migrated: bool, now: SimTime) -> usize {
+        let tgt = self.live_group(g);
+        self.tel
+            .span_point(idx as u32, span::FAULT_RESTEER, tgt as u32, now);
+        let mut qr = QueuedRequest::new(idx, self.total_cost(idx), now);
+        qr.migrated = migrated;
+        self.groups[tgt].netrx.push_back(qr);
+        if let Some(fs) = &mut self.faults {
+            fs.stats.resteered_requests += 1;
+        }
+        tgt
+    }
+
+    /// [`FaultEv::WorkerFail`]: worker `(g, w)` dies permanently. Its
+    /// running and locally-queued requests restart from the front of a live
+    /// NetRX queue (their partial service is lost — fail-stop, not
+    /// checkpointed); descriptors still in intra-group transit bounce when
+    /// they arrive (see `Ev::Deliver`).
+    fn fault_worker_fail(&mut self, g: usize, w: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        self.wake_group(g, now, None, q);
+        {
+            let fs = self.faults.as_mut().expect("fault event without plan");
+            fs.dead[g][w] = true;
+            fs.epoch[g][w] += 1;
+            fs.stats.worker_failures += 1;
+        }
+        let mut tgt = g;
+        if let Some(qr) = self.groups[g].running[w].take() {
+            tgt = self.resteer(g, qr.idx, qr.migrated, now);
+        }
+        while let Some(qr) = self.groups[g].waiting[w].pop_front() {
+            tgt = self.resteer(g, qr.idx, qr.migrated, now);
+        }
+        self.fault_mark(g, now, 1.0);
+        self.try_dispatch(tgt, now, q);
+    }
+
+    /// [`FaultEv::ManagerFail`]: group `g`'s manager tile dies. Its workers
+    /// finish what they already hold, but nothing new is dispatched, its
+    /// timer never re-arms, and messages addressed to it vanish. Recovery
+    /// arrives with the scheduled [`FaultEv::Takeover`].
+    fn fault_manager_fail(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        // Wake first: the idle-tick credit must be taken while the group is
+        // still (officially) alive, and the wake's re-armed timer fires
+        // harmlessly into the dead tile.
+        self.wake_group(g, now, None, q);
+        {
+            let fs = self.faults.as_mut().expect("fault event without plan");
+            fs.mgr_dead[g] = true;
+            fs.stats.manager_failures += 1;
+        }
+        q.push(
+            now + self.cfg.resilience.takeover_delay,
+            Ev::Fault(FaultEv::Takeover(g)),
+        );
+        self.fault_mark(g, now, 2.0);
+    }
+
+    /// [`FaultEv::Takeover`]: detection delay elapsed; the lowest-numbered
+    /// live peer adopts dead group `g`'s NetRX queue and future arrivals
+    /// steered at it.
+    fn fault_takeover(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        let heir = {
+            let fs = self.faults.as_ref().expect("fault event without plan");
+            self.topo[g]
+                .peers
+                .iter()
+                .copied()
+                .find(|&p| p != g && !fs.mgr_dead[p])
+        };
+        let Some(h) = heir else {
+            // Every peer is dead too; the queue is stranded.
+            return;
+        };
+        {
+            let fs = self.faults.as_mut().expect("fault event without plan");
+            fs.heir[g] = Some(h);
+            fs.stats.takeovers += 1;
+        }
+        self.wake_group(h, now, None, q);
+        while let Some(qr) = self.groups[g].netrx.pop_front() {
+            self.tel
+                .span_point(qr.idx as u32, span::FAULT_RESTEER, h as u32, now);
+            self.groups[h].netrx.push_back(qr);
+            if let Some(fs) = &mut self.faults {
+                fs.stats.resteered_requests += 1;
+            }
+        }
+        self.fault_mark(g, now, 3.0);
+        self.try_dispatch(h, now, q);
+    }
+
+    /// [`FaultEv::MigrateTimeout`]: the resilience window for tracked
+    /// exchange `id` expired. If it is still unsettled, declare it lost:
+    /// reclaim the send-FIFO slot, back off the destination, and resteer the
+    /// staged descriptors locally (they keep their migrated flag, so the
+    /// at-most-once rule still holds).
+    fn fault_migrate_timeout(&mut self, id: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        let backoff = self.cfg.resilience.nack_backoff;
+        let (src, descriptors) = {
+            let fs = self.faults.as_mut().expect("fault event without plan");
+            let p = &mut fs.pending[id];
+            if p.state != PendingState::Outstanding {
+                return;
+            }
+            p.state = PendingState::TimedOut;
+            fs.stats.migrate_timeouts += 1;
+            let dst = p.dst;
+            let src = p.src;
+            if let Some(b) = backoff {
+                fs.backoff[src][dst] = now + b;
+            }
+            (src, std::mem::take(&mut fs.pending[id].descriptors))
+        };
+        self.groups[src].send_inflight = self.groups[src].send_inflight.saturating_sub(1);
+        let mut tgt = src;
+        for d in descriptors {
+            tgt = self.resteer(src, d.trace_idx, true, now);
+        }
+        self.fault_mark(src, now, 4.0);
+        self.try_dispatch(tgt, now, q);
     }
 
     fn runtime_tick(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.mgr_is_dead(g) {
+            // A tick armed before the manager died fires into a dead tile:
+            // nothing runs and the timer is never re-armed.
+            return;
+        }
         self.stats.ticks += 1;
         let cfg = self.cfg;
 
@@ -824,7 +1232,32 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 .noc
                 .latency(src_tile, self.topo[dst].tile, msg.wire_bytes());
             // Consecutive injections serialize at the port (~3ns each).
-            let deliver_at = send_time + lat + injection_stagger(i);
+            let mut deliver_at = send_time + lat + injection_stagger(i);
+            // UPDATEs ride the lossy gossip channel of the faulty NoC. The
+            // draw happens here for both control planes so the decision
+            // sequence is a function of send order alone.
+            if let Some(noc) = self.faults.as_mut().and_then(|f| f.noc.as_mut()) {
+                match noc.lossy() {
+                    NocDecision::Deliver => {}
+                    NocDecision::Drop => {
+                        self.faults
+                            .as_mut()
+                            .expect("drawn above")
+                            .stats
+                            .updates_dropped += 1;
+                        self.stats.update_messages += 1; // sent, then lost
+                        continue;
+                    }
+                    NocDecision::Delay(d) => {
+                        self.faults
+                            .as_mut()
+                            .expect("drawn above")
+                            .stats
+                            .messages_delayed += 1;
+                        deliver_at += d;
+                    }
+                }
+            }
             if elided {
                 let seq = q.reserve_seqs(1);
                 self.groups[dst].mailbox.push(MailEntry {
@@ -871,38 +1304,82 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         }
 
         // 6. Plan and issue MIGRATE messages over the tenant-local view.
-        let local_q = &mut self.scratch.local_q;
-        local_q.clear();
-        local_q.extend(peers.iter().map(|&j| q_view[j]));
-        let me_local = self.topo[g].me_local;
+        //
+        // Emergency drain: when every worker of this (manager-alive) group
+        // has died, the planner's steady-state logic is meaningless — the
+        // queue can only shrink by leaving. Override the plan with
+        // up-to-`concurrency` bulk evacuations to the best-looking live
+        // peer, bypassing the guard and the at-most-once restriction.
+        let emergency = self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| !self.groups[g].netrx.is_empty() && fs.dead[g].iter().all(|&d| d));
         let orders = &mut self.scratch.orders;
-        match cfg.patterns {
-            crate::config::PatternPolicy::All => plan_migrations_into(
-                me_local,
-                local_q,
-                threshold,
-                cfg.bulk,
-                cfg.concurrency,
-                &mut self.scratch.plan,
-                orders,
-            ),
-            crate::config::PatternPolicy::ThresholdOnly => plan_threshold_only_into(
-                me_local,
-                local_q,
-                threshold,
-                cfg.bulk,
-                cfg.concurrency,
-                &mut self.scratch.plan,
-                orders,
-            ),
-        }
-        // Map local destination indices back to global group ids.
-        for o in orders.iter_mut() {
-            o.dst = peers[o.dst];
+        if emergency {
+            orders.clear();
+            let fs = self.faults.as_ref().expect("emergency implies faults");
+            let best = peers
+                .iter()
+                .copied()
+                .filter(|&p| p != g && !fs.mgr_dead[p] && now >= fs.backoff[g][p])
+                .min_by_key(|&p| (q_view[p], p));
+            if let Some(dst) = best {
+                for _ in 0..cfg.concurrency {
+                    orders.push(MigrationOrder {
+                        dst,
+                        count: cfg.bulk,
+                    });
+                }
+            }
+        } else {
+            let local_q = &mut self.scratch.local_q;
+            local_q.clear();
+            local_q.extend(peers.iter().map(|&j| q_view[j]));
+            let me_local = self.topo[g].me_local;
+            match cfg.patterns {
+                crate::config::PatternPolicy::All => plan_migrations_into(
+                    me_local,
+                    local_q,
+                    threshold,
+                    cfg.bulk,
+                    cfg.concurrency,
+                    &mut self.scratch.plan,
+                    orders,
+                ),
+                crate::config::PatternPolicy::ThresholdOnly => plan_threshold_only_into(
+                    me_local,
+                    local_q,
+                    threshold,
+                    cfg.bulk,
+                    cfg.concurrency,
+                    &mut self.scratch.plan,
+                    orders,
+                ),
+            }
+            // Map local destination indices back to global group ids.
+            for o in orders.iter_mut() {
+                o.dst = peers[o.dst];
+            }
         }
         let mut migrate_sends = 0u64;
         for (i, order) in self.scratch.orders.iter().enumerate() {
-            if cfg.guard_enabled && !guard_allows(q_view[g], q_view[order.dst], order.count) {
+            // Degradation: honor the NACK/timeout backoff window, and stop
+            // planning into a failed manager once its takeover completed —
+            // that election is the moment failure knowledge propagates, so
+            // MIGRATEs sent before it are dropped at the dead receiver and
+            // recovered by the migrate timeout. Both branches exist only
+            // under a non-empty fault plan.
+            if let Some(fs) = &mut self.faults {
+                let known_dead = fs.mgr_dead[order.dst] && fs.heir[order.dst].is_some();
+                if known_dead || now < fs.backoff[g][order.dst] {
+                    fs.stats.backoff_skipped += 1;
+                    continue;
+                }
+            }
+            if !emergency
+                && cfg.guard_enabled
+                && !guard_allows(q_view[g], q_view[order.dst], order.count)
+            {
                 self.stats.guard_blocked += 1;
                 continue;
             }
@@ -915,6 +1392,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 order.count,
                 &mut self.scratch.staged,
                 &mut self.scratch.skipped,
+                emergency,
             );
             if self.scratch.staged.is_empty() {
                 continue;
@@ -928,10 +1406,34 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             // The message owns its descriptor payload; `take` hands the
             // buffer over, so only actual MIGRATE sends (rare) allocate.
             let descriptors = std::mem::take(&mut self.scratch.staged);
+            // With the resilience timeout armed, record the exchange so a
+            // destination that dies (or already died) cannot strand the
+            // descriptors or leak the send-FIFO slot.
+            let mut token = 0u64;
+            if let Some(fs) = &mut self.faults {
+                if let Some(tmo) = fs.migrate_timeout {
+                    let id = fs.pending.len();
+                    fs.pending.push(PendingMigrate {
+                        src: g,
+                        dst: order.dst,
+                        descriptors: descriptors.clone(),
+                        state: PendingState::Outstanding,
+                    });
+                    token = id as u64 + 1;
+                    q.push(
+                        send_time + injection_stagger(i) + tmo,
+                        Ev::Fault(FaultEv::MigrateTimeout(id)),
+                    );
+                }
+                if emergency {
+                    fs.stats.emergency_migrations += descriptors.len() as u64;
+                }
+            }
             let msg = Message::Migrate {
                 src: g,
                 dst: order.dst,
                 descriptors,
+                token,
             };
             let lat = self
                 .noc
@@ -944,7 +1446,13 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             self.groups[g].send_inflight += 1;
             self.stats.migrate_messages += 1;
             migrate_sends += 1;
-            push_msg(q, send_time + lat + stagger, order.dst, msg);
+            send_msg_via(
+                &mut self.faults,
+                q,
+                send_time + lat + stagger,
+                order.dst,
+                msg,
+            );
         }
         if self.tel.enabled() {
             self.tel
@@ -960,13 +1468,24 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         if self.completed < self.trace.len() {
             if self.completed == self.last_completed_at_tick {
                 self.stalled_ticks += 1;
-                assert!(
-                    self.stalled_ticks < 10_000_000,
-                    "simulation stalled: {} ticks with no completion ({} / {} done)",
-                    self.stalled_ticks,
-                    self.completed,
-                    self.trace.len()
-                );
+                if self.faults.is_some() {
+                    // A faulted run can legitimately never finish (e.g. every
+                    // worker died with resilience off). Degrade gracefully:
+                    // stop re-arming this group's timer instead of asserting;
+                    // the run ends when the queue drains, and the unserved
+                    // requests simply never complete.
+                    if self.stalled_ticks >= 100_000 {
+                        return;
+                    }
+                } else {
+                    assert!(
+                        self.stalled_ticks < 10_000_000,
+                        "simulation stalled: {} ticks with no completion ({} / {} done)",
+                        self.stalled_ticks,
+                        self.completed,
+                        self.trace.len()
+                    );
+                }
             } else {
                 self.stalled_ticks = 0;
                 self.last_completed_at_tick = self.completed;
@@ -983,6 +1502,13 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         now: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        // A dead manager tile receives nothing: the message is lost at the
+        // wire. Senders recover via the staged-migration timeout (MIGRATE)
+        // or never notice (UPDATE/ACK — an ACK to a dead source is moot,
+        // the source's queues were already drained by takeover).
+        if self.mgr_is_dead(dst) {
+            return;
+        }
         match msg {
             Message::Update { src, queue_len } => {
                 // EventDriven only; the elided path never creates Update
@@ -991,25 +1517,51 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 self.groups[dst].q_view[src] = queue_len;
             }
             Message::Migrate {
-                src, descriptors, ..
+                src,
+                descriptors,
+                token,
+                ..
             } => {
                 // A MIGRATE is the one protocol message that can reach a
                 // group in idle fast-forward; replay its skipped ticks
                 // before it lands.
                 self.wake_group(dst, now, Some(seq), q);
+                // Exactly-once: if the sender already declared this exchange
+                // lost (timeout fired and resteered the descriptors), a
+                // late-arriving copy must not also land here.
+                if token != 0 {
+                    if let Some(fs) = &self.faults {
+                        if fs.pending[token as usize - 1].state == PendingState::TimedOut {
+                            return;
+                        }
+                    }
+                }
                 let src_tile = self.mgr_tile(src);
                 let dst_tile = self.mgr_tile(dst);
-                if self.groups[dst].recv_fifo >= 16 {
-                    // Full receive FIFO: reject with NACK.
+                let stalled = !self.cfg.faults.fifo_stalls.is_empty()
+                    && self.cfg.faults.recv_stalled(dst, now);
+                if self.groups[dst].recv_fifo >= 16 || stalled {
+                    // Full (or fault-stalled) receive FIFO: reject with NACK.
                     self.stats.nacked_messages += 1;
                     self.stats.nacked_requests += descriptors.len() as u64;
                     let nack = Message::Nack {
                         src: dst,
                         descriptors,
+                        token,
                     };
                     let lat = self.noc.latency(dst_tile, src_tile, nack.wire_bytes());
-                    push_msg(q, now + lat, src, nack);
+                    self.send_msg(q, now + lat, src, nack);
                     return;
+                }
+                // The exchange is now settled at the destination: the
+                // descriptors land here no matter what happens to the ACK,
+                // so the sender's timeout must not re-inject them.
+                if token != 0 {
+                    if let Some(fs) = &mut self.faults {
+                        let p = &mut fs.pending[token as usize - 1];
+                        p.state = PendingState::Resolved;
+                        p.descriptors.clear();
+                    }
                 }
                 self.groups[dst].recv_fifo += 1;
                 // The migrator drains the FIFO into the MRs/NetRX at
@@ -1026,19 +1578,56 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     qr.migrated = true;
                     self.groups[dst].netrx.push_back(qr);
                 }
-                let ack = Message::Ack { src: dst, accepted };
+                let ack = Message::Ack {
+                    src: dst,
+                    accepted,
+                    token,
+                };
                 let lat = self.noc.latency(dst_tile, src_tile, ack.wire_bytes());
-                push_msg(q, now + lat, src, ack);
+                self.send_msg(q, now + lat, src, ack);
                 self.try_dispatch(dst, now, q);
             }
-            Message::Ack { .. } => {
+            Message::Ack { token, .. } => {
                 // The sender keeps send_inflight > 0 until this arrives, so
                 // it can never have gone dormant in between.
                 debug_assert!(!self.groups[dst].dormant, "ack at a dormant group");
+                if token != 0 {
+                    if let Some(fs) = &mut self.faults {
+                        let p = &mut fs.pending[token as usize - 1];
+                        if p.state == PendingState::TimedOut {
+                            // Timeout already reclaimed the FIFO slot and
+                            // resteered; this stale ACK must change nothing.
+                            return;
+                        }
+                        p.state = PendingState::Resolved;
+                        p.descriptors.clear();
+                    }
+                }
                 self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
             }
-            Message::Nack { descriptors, .. } => {
+            Message::Nack {
+                src: nack_src,
+                descriptors,
+                token,
+            } => {
                 debug_assert!(!self.groups[dst].dormant, "nack at a dormant group");
+                if token != 0 {
+                    if let Some(fs) = &mut self.faults {
+                        let p = &mut fs.pending[token as usize - 1];
+                        if p.state == PendingState::TimedOut {
+                            return;
+                        }
+                        p.state = PendingState::Resolved;
+                        p.descriptors.clear();
+                    }
+                }
+                // NACK-storm backoff: stop hammering a destination that just
+                // refused us.
+                if let Some(b) = self.cfg.resilience.nack_backoff {
+                    if let Some(fs) = &mut self.faults {
+                        fs.backoff[dst][nack_src] = now + b;
+                    }
+                }
                 // Rejected migration: requests stay at the source (restored
                 // from the MRs). They remain eligible for future migration.
                 self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
@@ -1060,6 +1649,18 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {
             Ev::Enqueue(g, idx) => {
+                // NIC steering is oblivious to manager failures until the
+                // takeover rewrites the steering table: arrivals aimed at a
+                // dead manager land at the group that adopted its queue.
+                let g = {
+                    let lg = self.live_group(g);
+                    if lg != g {
+                        if let Some(fs) = &mut self.faults {
+                            fs.stats.redirected_arrivals += 1;
+                        }
+                    }
+                    lg
+                };
                 // Arrivals wake a group out of idle fast-forward; the
                 // skipped ticks are replayed before the request lands.
                 self.wake_group(g, now, None, q);
@@ -1076,6 +1677,22 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
             Ev::Deliver(g, w, qr) => {
                 // A group with work in flight can never be dormant.
                 debug_assert!(!self.groups[g].dormant, "deliver at a dormant group");
+                if self.dead_of(g).get(w).copied().unwrap_or(false) {
+                    // The worker died while this descriptor was in transit:
+                    // bounce it back to whichever NetRX now serves the group.
+                    self.groups[g].in_flight[w] -= 1;
+                    let tgt = self.live_group(g);
+                    self.tel
+                        .span_point(qr.idx as u32, span::FAULT_RESTEER, tgt as u32, now);
+                    let mut back = QueuedRequest::new(qr.idx, self.total_cost(qr.idx), now);
+                    back.migrated = qr.migrated;
+                    self.groups[tgt].netrx.push_back(back);
+                    if let Some(fs) = &mut self.faults {
+                        fs.stats.resteered_requests += 1;
+                    }
+                    self.try_dispatch(tgt, now, q);
+                    return;
+                }
                 let core = self.worker_core(g, w);
                 self.tel
                     .span_point(qr.idx as u32, span::WORKER_ARRIVE, core, now);
@@ -1086,7 +1703,12 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                     self.groups[g].waiting[w].push_back(qr);
                 }
             }
-            Ev::WorkerDone(g, w) => {
+            Ev::WorkerDone(g, w, epoch) => {
+                // A completion from before the worker's death is stale: the
+                // request it would complete was already resteered.
+                if epoch != self.epoch_of(g, w) {
+                    return;
+                }
                 debug_assert!(!self.groups[g].dormant, "completion at a dormant group");
                 let qr = self.groups[g].running[w]
                     .take()
@@ -1117,6 +1739,12 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
             Ev::RecvDrained(g) => {
                 self.groups[g].recv_fifo = self.groups[g].recv_fifo.saturating_sub(1);
             }
+            Ev::Fault(fe) => match fe {
+                FaultEv::WorkerFail(g, w) => self.fault_worker_fail(g, w, now, q),
+                FaultEv::ManagerFail(g) => self.fault_manager_fail(g, now, q),
+                FaultEv::Takeover(g) => self.fault_takeover(g, now, q),
+                FaultEv::MigrateTimeout(id) => self.fault_migrate_timeout(id, now, q),
+            },
         }
     }
 
@@ -1405,7 +2033,7 @@ mod tests {
     fn stage(netrx: &mut VecDeque<QueuedRequest>, trace: &Trace, count: usize) -> Vec<Descriptor> {
         let mut staged = Vec::new();
         let mut skipped = Vec::new();
-        stage_from_tail(netrx, trace, count, &mut staged, &mut skipped);
+        stage_from_tail(netrx, trace, count, &mut staged, &mut skipped, false);
         assert!(skipped.is_empty(), "skipped buffer must be drained back");
         staged
     }

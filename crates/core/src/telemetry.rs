@@ -45,6 +45,11 @@ pub mod span {
     pub const SERVICE_START: u16 = 7;
     /// Service finished; the completion was recorded (`loc` = worker core id).
     pub const COMPLETE: u16 = 8;
+    /// Fault recovery returned the request to a NetRX queue (`loc` = the
+    /// group that now holds it): a dead worker's queue was resteered, a
+    /// timed-out MIGRATE's descriptors came back, or a failed manager's
+    /// queue was adopted by its takeover heir.
+    pub const FAULT_RESTEER: u16 = 9;
 }
 
 /// Phase name of the segment starting at span kind `from`.
@@ -55,7 +60,9 @@ pub mod span {
 pub fn segment_name(from: u16, _to: u16) -> &'static str {
     match from {
         span::ARRIVAL => "ingress",
-        span::NETRX_ENQUEUE | span::MIGRATE_LAND | span::NACK_RETURN => "netrx_wait",
+        span::NETRX_ENQUEUE | span::MIGRATE_LAND | span::NACK_RETURN | span::FAULT_RESTEER => {
+            "netrx_wait"
+        }
         span::MIGRATE_STAGE => "migration",
         span::DISPATCH => "dispatch",
         span::WORKER_ARRIVE => "worker_wait",
@@ -93,6 +100,7 @@ mod tests {
             span::DISPATCH,
             span::WORKER_ARRIVE,
             span::SERVICE_START,
+            span::FAULT_RESTEER,
         ] {
             assert_ne!(segment_name(kind, span::COMPLETE), "other");
         }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Steering, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
+use simcore::faults::FaultPlan;
 use simcore::rng::{stream_rng, streams};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -35,6 +36,12 @@ pub struct DFcfsConfig {
     pub sched_overhead: SimDuration,
     /// RNG seed for steering decisions.
     pub seed: u64,
+    /// Injected faults. d-FCFS has no recovery path: a dead core's queued
+    /// and future-steered requests are simply lost (the RSS hash keeps
+    /// pointing at the dead queue), which is the non-graceful comparison
+    /// point for the fault sweep. The default empty plan reproduces healthy
+    /// runs byte-for-byte.
+    pub faults: FaultPlan,
 }
 
 impl DFcfsConfig {
@@ -48,6 +55,7 @@ impl DFcfsConfig {
             steering: Steering::rss(),
             sched_overhead: SimDuration::from_ns(10),
             seed: 0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -71,6 +79,10 @@ impl DFcfs {
     /// Panics if `cores` is zero.
     pub fn new(cfg: DFcfsConfig) -> Self {
         assert!(cfg.cores > 0, "need at least one core");
+        cfg.faults.validate();
+        for f in &cfg.faults.worker_failures {
+            assert!(f.core < cfg.cores, "failure targets a nonexistent core");
+        }
         DFcfs { cfg }
     }
 }
@@ -80,6 +92,8 @@ enum Ev {
     Enqueue(usize, usize),
     /// Core finished its in-service request.
     Done(usize),
+    /// Fault plan: the core fails permanently. Never pushed by healthy runs.
+    Fail(usize),
 }
 
 struct DFcfsWorld<'t> {
@@ -87,6 +101,8 @@ struct DFcfsWorld<'t> {
     cfg: DFcfsConfig,
     queues: Vec<VecDeque<QueuedRequest>>,
     in_service: Vec<Option<QueuedRequest>>,
+    /// Dead-core flags; all false (and never read) on healthy runs.
+    dead: Vec<bool>,
     result: SystemResult,
 }
 
@@ -99,8 +115,11 @@ impl DFcfsWorld<'_> {
             req,
             self.cfg.sched_overhead,
         );
+        // Straggler inflation is identity when no interval covers this
+        // core/instant (bit-for-bit, see simcore::faults).
+        let wall = self.cfg.faults.inflate(core, now, cost);
         self.in_service[core] = Some(qr);
-        q.push(now + cost, Ev::Done(core));
+        q.push(now + wall, Ev::Done(core));
     }
 }
 
@@ -110,6 +129,10 @@ impl World for DFcfsWorld<'_> {
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {
             Ev::Enqueue(idx, core) => {
+                if self.dead[core] {
+                    // No rebalancing path exists: the request is lost.
+                    return;
+                }
                 let req = &self.trace.requests()[idx];
                 let qr = QueuedRequest::new(idx, req.service, now);
                 if self.in_service[core].is_none() {
@@ -119,6 +142,10 @@ impl World for DFcfsWorld<'_> {
                 }
             }
             Ev::Done(core) => {
+                if self.dead[core] {
+                    // Stale completion from before the core's death.
+                    return;
+                }
                 let qr = self.in_service[core].take().expect("Done on an idle core");
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
@@ -131,6 +158,14 @@ impl World for DFcfsWorld<'_> {
                 if let Some(next) = self.queues[core].pop_front() {
                     self.start(core, next, now, q);
                 }
+            }
+            Ev::Fail(core) => {
+                // Fail-stop: the running request and everything queued
+                // behind it are lost, as is everything the NIC steers here
+                // from now on.
+                self.dead[core] = true;
+                self.in_service[core] = None;
+                self.queues[core].clear();
             }
         }
     }
@@ -169,8 +204,12 @@ impl RpcSystem for DFcfs {
             cfg: self.cfg.clone(),
             queues: vec![VecDeque::new(); self.cfg.cores],
             in_service: vec![None; self.cfg.cores],
+            dead: vec![false; self.cfg.cores],
             result: SystemResult::with_capacity(trace.len()),
         };
+        for f in &self.cfg.faults.worker_failures {
+            queue.push(f.at, Ev::Fail(f.core));
+        }
         run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.result
     }
@@ -271,5 +310,49 @@ mod tests {
         for pair in r.completions.windows(2) {
             assert!(pair[0].id < pair[1].id);
         }
+    }
+
+    #[test]
+    fn dead_core_loses_its_steered_requests() {
+        use simcore::faults::WorkerFailure;
+        let t = trace(0.5, 8, 20_000);
+        let mut cfg = DFcfsConfig::rss(8);
+        cfg.faults.worker_failures.push(WorkerFailure {
+            core: 3,
+            at: SimTime::from_us(200),
+        });
+        let a = DFcfs::new(cfg.clone()).run(&t);
+        let b = DFcfs::new(cfg).run(&t);
+        // No rebalancing: RSS keeps hashing connections onto the dead
+        // queue, so dFCFS drops everything steered there after the failure.
+        assert!(
+            a.completions.len() < t.len(),
+            "dFCFS cannot resteer a dead core's traffic"
+        );
+        assert!(a.completions.len() > t.len() / 2);
+        assert_eq!(a.completions, b.completions); // fault runs stay deterministic
+    }
+
+    #[test]
+    fn straggler_slows_but_loses_nothing() {
+        use simcore::faults::Straggler;
+        let t = trace(0.5, 8, 20_000);
+        let healthy = DFcfs::new(DFcfsConfig::rss(8)).run(&t);
+        let mut cfg = DFcfsConfig::rss(8);
+        cfg.faults.stragglers.push(Straggler {
+            first_core: 0,
+            last_core: 7,
+            from: SimTime::from_us(100),
+            until: SimTime::from_us(600),
+            slowdown: 3.0,
+        });
+        let r = DFcfs::new(cfg).run(&t);
+        assert_eq!(r.completions.len(), t.len());
+        assert!(
+            r.p99() > healthy.p99(),
+            "slowed {} vs healthy {}",
+            r.p99(),
+            healthy.p99()
+        );
     }
 }

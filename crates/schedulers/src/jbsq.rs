@@ -19,6 +19,7 @@ use crate::common::{QueuedRequest, RpcSystem, SystemResult};
 use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
+use simcore::faults::FaultPlan;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -70,6 +71,11 @@ pub struct JbsqConfig {
     pub quantum: Option<SimDuration>,
     /// Per-preemption overhead.
     pub preempt_overhead: SimDuration,
+    /// Injected faults. JBSQ is partially resilient by construction — the
+    /// central queue just stops pushing to a dead core — but whatever the
+    /// dead core already held (running, local queue, in-flight pushes) is
+    /// lost. The default empty plan reproduces healthy runs byte-for-byte.
+    pub faults: FaultPlan,
 }
 
 impl JbsqConfig {
@@ -87,6 +93,7 @@ impl JbsqConfig {
             nic: NicModel::default(),
             quantum: None,
             preempt_overhead: SimDuration::from_ns(100),
+            faults: FaultPlan::default(),
         };
         match variant {
             JbsqVariant::RpcValet => JbsqConfig { bound: 1, ..base },
@@ -126,6 +133,10 @@ impl Jbsq {
     pub fn with_config(variant: JbsqVariant, cfg: JbsqConfig) -> Self {
         assert!(cfg.cores > 0);
         assert!(cfg.bound > 0, "JBSQ bound must be positive");
+        cfg.faults.validate();
+        for f in &cfg.faults.worker_failures {
+            assert!(f.core < cfg.cores, "failure targets a nonexistent core");
+        }
         Jbsq { cfg, variant }
     }
 }
@@ -139,6 +150,8 @@ enum Ev {
     SliceDone(usize),
     /// Core `c` finished its preemption overhead.
     CoreFree(usize),
+    /// Fault plan: core `c` fails permanently. Never pushed by healthy runs.
+    Fail(usize),
 }
 
 struct JbsqWorld<'t> {
@@ -155,6 +168,8 @@ struct JbsqWorld<'t> {
     in_flight: Vec<usize>,
     /// Core is paying preemption overhead until cleared.
     stalled: Vec<bool>,
+    /// Dead-core flags; all false (and never read) on healthy runs.
+    dead: Vec<bool>,
     result: SystemResult,
 }
 
@@ -179,7 +194,7 @@ impl JbsqWorld<'_> {
             // Shortest bounded queue first, within the coherence domain.
             let Some(core) = self
                 .domain_cores(domain)
-                .filter(|&c| self.occupancy(c) < self.cfg.bound)
+                .filter(|&c| !self.dead[c] && self.occupancy(c) < self.cfg.bound)
                 .min_by_key(|&c| self.occupancy(c))
             else {
                 return;
@@ -205,8 +220,11 @@ impl JbsqWorld<'_> {
             Some(qt) => qr.remaining.min(qt),
             None => qr.remaining,
         };
+        // A straggling core runs its slice slower (wall time inflated) but
+        // accomplishes the same nominal work; identity on healthy runs.
+        let wall = self.cfg.faults.inflate(core, now, slice);
         self.running[core] = Some(qr);
-        q.push(now + slice, Ev::SliceDone(core));
+        q.push(now + wall, Ev::SliceDone(core));
     }
 }
 
@@ -223,10 +241,18 @@ impl World for JbsqWorld<'_> {
             }
             Ev::Deliver(core, qr) => {
                 self.in_flight[core] -= 1;
+                if self.dead[core] {
+                    // Pushed before the core died; the descriptor is lost.
+                    return;
+                }
                 self.local[core].push_back(qr);
                 self.start_if_idle(core, now, q);
             }
             Ev::SliceDone(core) => {
+                if self.dead[core] {
+                    // Stale slice from before the core's death.
+                    return;
+                }
                 let domain = self.domain_of(core);
                 let mut qr = self.running[core].take().expect("slice on idle core");
                 let ran = match self.cfg.quantum {
@@ -254,8 +280,20 @@ impl World for JbsqWorld<'_> {
                 }
             }
             Ev::CoreFree(core) => {
+                if self.dead[core] {
+                    return;
+                }
                 self.stalled[core] = false;
                 self.start_if_idle(core, now, q);
+                self.try_push(self.domain_of(core), now, q);
+            }
+            Ev::Fail(core) => {
+                // Fail-stop: lose the running request and the local queue;
+                // the central queue re-routes around the dead core from now
+                // on (JBSQ's built-in partial resilience).
+                self.dead[core] = true;
+                self.running[core] = None;
+                self.local[core].clear();
                 self.try_push(self.domain_of(core), now, q);
             }
         }
@@ -300,8 +338,12 @@ impl RpcSystem for Jbsq {
             local: vec![VecDeque::new(); n],
             in_flight: vec![0; n],
             stalled: vec![false; n],
+            dead: vec![false; n],
             result: SystemResult::with_capacity(trace.len()),
         };
+        for f in &self.cfg.faults.worker_failures {
+            queue.push(f.at, Ev::Fail(f.core));
+        }
         run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
         world.result
     }
@@ -432,5 +474,60 @@ mod tests {
     fn variant_names() {
         assert_eq!(Jbsq::new(JbsqVariant::Nebula, 4).name(), "Nebula(4)");
         assert_eq!(JbsqVariant::NanoPu.name(), "nanoPU");
+    }
+
+    #[test]
+    fn routes_around_a_dead_core() {
+        use simcore::faults::WorkerFailure;
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.6,
+            8,
+            20_000,
+        );
+        let mut cfg = JbsqConfig::of(JbsqVariant::Nebula, 8);
+        cfg.faults.worker_failures.push(WorkerFailure {
+            core: 3,
+            at: SimTime::from_us(200),
+        });
+        let a = Jbsq::with_config(JbsqVariant::Nebula, cfg.clone()).run(&t);
+        let b = Jbsq::with_config(JbsqVariant::Nebula, cfg).run(&t);
+        // The central queue simply stops feeding the dead core, so at most
+        // its held work (bound + in-flight) is lost — unlike dFCFS, which
+        // keeps steering traffic at the corpse.
+        let lost = t.len() - a.completions.len();
+        assert!(
+            lost <= 8,
+            "JBSQ loses only the dead core's held work: {lost}"
+        );
+        assert_eq!(a.completions, b.completions); // fault runs stay deterministic
+    }
+
+    #[test]
+    fn straggler_inflates_tail_but_completes() {
+        use simcore::faults::Straggler;
+        let t = trace(
+            ServiceDistribution::Fixed(SimDuration::from_us(1)),
+            0.6,
+            8,
+            20_000,
+        );
+        let healthy = Jbsq::new(JbsqVariant::Nebula, 8).run(&t);
+        let mut cfg = JbsqConfig::of(JbsqVariant::Nebula, 8);
+        cfg.faults.stragglers.push(Straggler {
+            first_core: 0,
+            last_core: 7,
+            from: SimTime::from_us(100),
+            until: SimTime::from_us(600),
+            slowdown: 3.0,
+        });
+        let r = Jbsq::with_config(JbsqVariant::Nebula, cfg).run(&t);
+        assert_eq!(r.completions.len(), t.len());
+        assert!(
+            r.p99() > healthy.p99(),
+            "slowed {} vs healthy {}",
+            r.p99(),
+            healthy.p99()
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! - [`time`]: [`time::SimTime`] / [`time::SimDuration`] newtypes.
 //! - [`event`]: a deterministic [`event::EventQueue`] plus the
 //!   [`event::World`] trait and [`event::run`] loop.
+//! - [`faults`]: seeded, deterministic fault-injection plans.
 //! - [`metrics`]: HDR-style latency histograms, quantiles and SLO accounting.
 //! - [`rng`]: per-component deterministic RNG streams.
 //! - [`alloc`]: a counting global allocator for allocation-budget tests.
@@ -69,6 +70,7 @@
 
 pub mod alloc;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod parallel;
 pub mod report;
@@ -80,6 +82,7 @@ pub mod time;
 pub use event::{
     run, run_streamed, BinaryHeapQueue, EventQueue, EventSource, RunSummary, StreamInjector, World,
 };
+pub use faults::{FaultPlan, NocDecision, NocFaultRng};
 pub use metrics::{LatencyHistogram, LatencySummary, SloTracker};
 pub use parallel::{default_threads, parallel_map, seeded_map};
 pub use stats::{batch_means_ci, MeanCi};

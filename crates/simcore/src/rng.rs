@@ -48,6 +48,9 @@ pub mod streams {
     pub const KEYS: u64 = 5;
     /// Rate-modulation process for bursty (real-world) traffic.
     pub const MODULATION: u64 = 6;
+    /// Fault-injection decisions (NoC drop/delay); isolated so that adding
+    /// faults to a run never perturbs the workload streams above.
+    pub const FAULTS: u64 = 7;
 }
 
 #[cfg(test)]

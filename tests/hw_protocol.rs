@@ -49,6 +49,7 @@ fn section_6_walkthrough_end_to_end() {
             src: 2,
             dst: order.dst,
             descriptors: batch,
+            token: 0,
         };
         assert_eq!(msg.wire_bytes(), HEADER_BYTES + 10 * DESCRIPTOR_BYTES);
         send_fifo
@@ -98,6 +99,7 @@ fn nack_on_full_receive_fifo() {
     let nack = Message::Nack {
         src: 1,
         descriptors: incoming,
+        token: 0,
     };
     assert_eq!(
         nack.wire_bytes(),
