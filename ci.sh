@@ -59,6 +59,20 @@ cmp target/fault_sweep_quick.txt target/fault_sweep_b.txt
 cmp target/fault_sweep_quick.txt target/fault_sweep_c.txt
 rm -f target/fault_sweep_b.txt target/fault_sweep_c.txt
 
+echo "==> parallel-engine determinism (PAR_THREADS=4 vs serial)"
+# The quiet-window parallel engine must match the serial engine byte for
+# byte: the same stdout the golden gate pinned above, reproduced with the
+# mesh partitioned across 4 worker threads. The faulted sweep additionally
+# proves the downgrade guard (non-empty fault plans run serially) keeps
+# byte-identity under a PAR_THREADS request.
+PAR_THREADS=4 cargo run -q -p bench --release --bin fig10_comparison -- --quick \
+  > target/fig10_par.txt
+cmp target/fig10_quick.txt target/fig10_par.txt
+PAR_THREADS=4 cargo run -q -p bench --release --bin fault_sweep -- --quick \
+  > target/fault_sweep_par.txt
+cmp target/fault_sweep_quick.txt target/fault_sweep_par.txt
+rm -f target/fig10_par.txt target/fault_sweep_par.txt
+
 echo "==> telemetry-export smoke"
 # Export a real trace from the hotpath harness and lint it: the Chrome-trace
 # JSON must parse with well-nested per-request spans, and every probe JSONL

@@ -99,7 +99,14 @@ fn churn_heap(steps: &[u64]) -> usize {
 }
 
 fn bench_churn(c: &mut Criterion) {
-    for (label, max_step) in [("tight_2us", 2_000u64), ("wide_66us", 66_000)] {
+    for (label, max_step) in [
+        // `dense_150ns` packs the live set ~27×27 events per bucket at the
+        // seed geometry: the adversarial pattern that regressed before the
+        // adaptive bucket-width rehash, kept here to pin the win.
+        ("dense_150ns", 150u64),
+        ("tight_2us", 2_000),
+        ("wide_66us", 66_000),
+    ] {
         let steps = churn_steps(12, max_step);
         let mut g = c.benchmark_group(&format!("queue_churn_100k_{label}"));
         g.bench_function("calendar", |b| b.iter(|| black_box(churn_calendar(&steps))));

@@ -52,6 +52,34 @@ fn measure(cfg: &AcConfig, t: &workload::Trace) -> Measured {
     best
 }
 
+/// Measure the quiet-window parallel engine at an explicit thread count,
+/// asserting that its invariant outputs (event count, peak serial-queue
+/// occupancy) are byte-identical to the serial baseline — the bench doubles
+/// as a determinism gate on every refresh.
+fn measure_par(cfg: &AcConfig, t: &workload::Trace, threads: usize, serial: &Measured) -> Measured {
+    let mut best = Measured {
+        wall_ms: f64::MAX,
+        events: 0,
+        peak_queue: 0,
+    };
+    for _ in 0..ITERS {
+        let mut sys = Altocumulus::new(cfg.clone());
+        let start = Instant::now();
+        let r = sys.run_detailed_par(t, threads);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.system.completions.len(), t.len());
+        best.wall_ms = best.wall_ms.min(ms);
+        best.events = r.summary.events;
+        best.peak_queue = r.summary.peak_queue;
+    }
+    assert_eq!(best.events, serial.events, "parallel engine diverged");
+    assert_eq!(
+        best.peak_queue, serial.peak_queue,
+        "parallel engine diverged"
+    );
+    best
+}
+
 fn emit(label: &str, m: &Measured, trailing_comma: bool) {
     let eps = m.events as f64 / (m.wall_ms / 1e3);
     println!("  \"{label}\": {{");
@@ -80,6 +108,22 @@ fn main() {
     legacy_cfg.control_plane = ControlPlane::EventDriven;
     let big_legacy = measure(&legacy_cfg, &t256);
 
+    // Parallel-engine rows: the same 16x16 case through the quiet-window
+    // engine at 2/4/8 worker threads, plus a 1024-core (32x32 mesh, 64
+    // groups x 16) case at both engines. Each parallel row asserts
+    // byte-identical invariants against its serial baseline.
+    let par16: Vec<(usize, Measured)> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| (n, measure_par(&big_cfg, &t256, n, &big_elided)))
+        .collect();
+    let t1024 = trace(1024, 60_000, 0.6);
+    let huge_cfg = AcConfig::ac_int(64, 16, mean);
+    let huge = measure(&huge_cfg, &t1024);
+    let par32: Vec<(usize, Measured)> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| (n, measure_par(&huge_cfg, &t1024, n, &huge)))
+        .collect();
+
     // Nebula baseline: wall time only (RpcSystem::run has no summary).
     let mut nb_best_ms = f64::MAX;
     for _ in 0..ITERS {
@@ -102,9 +146,22 @@ fn main() {
         "  \"config_64\": \"20k requests, 64 cores, load 0.8, fixed 850ns, 16 conns, seed 1\","
     );
     println!("  \"config_256\": \"40k requests, 256 cores (16x16), load 0.6, fixed 850ns, 16 conns, seed 1\",");
+    println!("  \"config_1024\": \"60k requests, 1024 cores (32x32 mesh, 64 groups x 16), load 0.6, fixed 850ns, 16 conns, seed 1\",");
     println!("  \"iters_best_of\": {ITERS},");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("  \"hw_threads\": {hw},");
+    println!("  \"par_note\": \"PAR_THREADS rows use the quiet-window parallel engine; invariants asserted byte-identical to serial. With hw_threads=1 these rows measure engine overhead, not speedup.\",");
     emit("altocumulus_int_4x16", &small, true);
     emit("altocumulus_int_16x16_elided", &big_elided, true);
+    for (n, m) in &par16 {
+        emit(&format!("altocumulus_int_16x16_elided_par{n}"), m, true);
+    }
+    emit("altocumulus_int_32x32_elided", &huge, true);
+    for (n, m) in &par32 {
+        emit(&format!("altocumulus_int_32x32_elided_par{n}"), m, true);
+    }
     emit("altocumulus_int_16x16_event_driven", &big_legacy, true);
     println!("  \"manager_plane_event_cut_pct\": {event_cut:.1},");
     println!("  \"nebula_jbsq\": {{ \"wall_ms\": {nb_best_ms:.2} }},");

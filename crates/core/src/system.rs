@@ -22,6 +22,7 @@ use rpcstack::nic::{NicModel, Transfer};
 use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
 use simcore::faults::{NocDecision, NocFaultRng};
+use simcore::parengine::{par_threads, Partitioning};
 use simcore::rng::{stream_rng, streams};
 use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
@@ -29,8 +30,10 @@ use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
 
+mod par;
+
 /// Counters describing the migration machinery's behaviour during a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MigrationStats {
     /// Runtime invocations across all managers.
     pub ticks: u64,
@@ -127,10 +130,69 @@ impl Altocumulus {
     /// instead of the whole trace. Seqs for all arrivals are reserved up
     /// front in trace order, so the pop order — and therefore every result
     /// byte — is identical to the old upfront pre-push.
+    ///
+    /// When the `PAR_THREADS` environment variable is set to ≥ 2 (and the
+    /// run is eligible — multi-group, no fault plan), the parallel
+    /// quiet-window engine drives the run instead; its output is
+    /// byte-identical to the serial engine at every thread count.
     pub fn run_detailed(&mut self, trace: &Trace) -> AcResult {
         // Monomorphized against the no-op sink: the compiled hot path is
         // the telemetry-free one, with zero extra instructions.
-        self.run_with(trace, &mut NullSink)
+        self.run_with(trace, &mut NullSink, self.auto_mode())
+    }
+
+    /// Like [`run_detailed`](Self::run_detailed), but explicitly parallel
+    /// across `threads` worker threads (groups are split into `threads`
+    /// near-equal contiguous partitions). `threads <= 1`, a single group,
+    /// or a non-empty fault plan all fall back to the serial engine; the
+    /// result is byte-identical either way.
+    pub fn run_detailed_par(&mut self, trace: &Trace, threads: usize) -> AcResult {
+        self.run_with(trace, &mut NullSink, self.even_mode(threads))
+    }
+
+    /// [`run_traced`](Self::run_traced) on the parallel engine; span logs
+    /// and probe rings merge deterministically, byte-identical to serial.
+    pub fn run_traced_par(
+        &mut self,
+        trace: &Trace,
+        tel: &mut Telemetry,
+        threads: usize,
+    ) -> AcResult {
+        self.run_with(trace, tel, self.even_mode(threads))
+    }
+
+    /// Test hook: run parallel under an explicit (possibly permuted)
+    /// partitioning of the groups.
+    #[doc(hidden)]
+    pub fn run_detailed_partitioned(&mut self, trace: &Trace, parts: Partitioning) -> AcResult {
+        self.run_with(trace, &mut NullSink, RunMode::Parallel(parts))
+    }
+
+    /// Test hook: [`run_traced`](Self::run_traced) under an explicit
+    /// partitioning.
+    #[doc(hidden)]
+    pub fn run_traced_partitioned(
+        &mut self,
+        trace: &Trace,
+        tel: &mut Telemetry,
+        parts: Partitioning,
+    ) -> AcResult {
+        self.run_with(trace, tel, RunMode::Parallel(parts))
+    }
+
+    /// The engine mode the `PAR_THREADS` environment knob selects.
+    fn auto_mode(&self) -> RunMode {
+        self.even_mode(par_threads())
+    }
+
+    /// An even contiguous split across `threads` partitions, or serial when
+    /// the run is not eligible.
+    fn even_mode(&self, threads: usize) -> RunMode {
+        if threads >= 2 && self.cfg.groups >= 2 {
+            RunMode::Parallel(Partitioning::even(self.cfg.groups, threads))
+        } else {
+            RunMode::Serial
+        }
     }
 
     /// Runs the full simulation while recording request-lifecycle spans and
@@ -145,10 +207,27 @@ impl Altocumulus {
     /// [`crate::telemetry::phase_table`] and
     /// [`simcore::telemetry::ProbeSet::to_jsonl`].
     pub fn run_traced(&mut self, trace: &Trace, tel: &mut Telemetry) -> AcResult {
-        self.run_with(trace, tel)
+        self.run_with(trace, tel, self.auto_mode())
     }
 
-    fn run_with<S: TelemetrySink>(&mut self, trace: &Trace, tel: &mut S) -> AcResult {
+    fn run_with<S: TelemetrySink>(
+        &mut self,
+        trace: &Trace,
+        tel: &mut S,
+        mode: RunMode,
+    ) -> AcResult {
+        // A non-empty fault plan forces the serial engine: fault events are
+        // rare, cross-group, and RNG-bearing — exactly what the quiet-window
+        // protocol serializes anyway, so the parallel path simply refuses
+        // them (trivially byte-identical).
+        let mode = match mode {
+            RunMode::Parallel(p)
+                if self.cfg.faults.is_empty() && p.parts() >= 2 && p.items() == self.cfg.groups =>
+            {
+                RunMode::Parallel(p)
+            }
+            _ => RunMode::Serial,
+        };
         let cfg = &self.cfg;
         let nic = NicModel::default();
         let attach_transfer = match cfg.attachment {
@@ -238,7 +317,7 @@ impl Altocumulus {
                 probe_ids: fault_probes,
             }))
         };
-        let groups = (0..cfg.groups)
+        let groups: Vec<Group> = (0..cfg.groups)
             .map(|_| Group {
                 netrx: VecDeque::new(),
                 running: vec![None; cfg.workers_per_group()],
@@ -257,6 +336,10 @@ impl Altocumulus {
                 next_virtual_tick: SimTime::ZERO,
             })
             .collect();
+        let groups = match &mode {
+            RunMode::Serial => GroupStore::serial(groups),
+            RunMode::Parallel(p) => GroupStore::partitioned(groups, p),
+        };
         let topo = (0..cfg.groups)
             .map(|g| {
                 let peers: Vec<usize> = match &cfg.tenancy {
@@ -323,7 +406,10 @@ impl Altocumulus {
                 queue.push(f.at, Ev::Fault(FaultEv::ManagerFail(f.group)));
             }
         }
-        let summary = run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX);
+        let summary = match &mode {
+            RunMode::Serial => run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX),
+            RunMode::Parallel(p) => par::run_windows(&mut world, &mut queue, &mut source, p),
+        };
         world.finalize_idle_accounting(summary.end_time);
         let fault_stats = world.faults.as_ref().map(|f| f.stats).unwrap_or_default();
         AcResult {
@@ -348,6 +434,17 @@ impl RpcSystem for Altocumulus {
     fn run(&mut self, trace: &Trace) -> SystemResult {
         self.run_detailed(trace).system
     }
+}
+
+/// Which engine drives the event loop of one run.
+enum RunMode {
+    /// The classic single-threaded loop.
+    Serial,
+    /// The quiet-window engine: partitions of the group mesh execute
+    /// windows of intra-group events on worker threads, with every
+    /// serial-only event (ticks, messages) and all observable output
+    /// replayed on the exact serial `(time, seq)` order.
+    Parallel(Partitioning),
 }
 
 enum Ev {
@@ -461,6 +558,85 @@ impl Group {
             }
         }
         best.map(|(_, w)| w)
+    }
+}
+
+/// Owns every [`Group`], laid out by partition so the parallel engine can
+/// lend whole partitions to worker threads as owned `Vec<Group>`s (the
+/// crate forbids `unsafe`, so shards receive their groups by move, not by
+/// pointer).
+///
+/// Serial runs use a single partition; indexing cost is one extra slot
+/// lookup either way, and `world.groups[g]` syntax is preserved through the
+/// `Index` impls.
+struct GroupStore {
+    parts: Vec<Vec<Group>>,
+    /// `slots[g] = (partition, offset within it)`.
+    slots: Vec<(u32, u32)>,
+}
+
+impl GroupStore {
+    /// All groups in one partition (the serial layout).
+    fn serial(groups: Vec<Group>) -> Self {
+        let slots = (0..groups.len()).map(|g| (0, g as u32)).collect();
+        GroupStore {
+            parts: vec![groups],
+            slots,
+        }
+    }
+
+    /// Groups laid out by `partitioning`: partition `p` holds the groups of
+    /// `partitioning.ranges()[p]`, in ascending group order.
+    fn partitioned(groups: Vec<Group>, partitioning: &Partitioning) -> Self {
+        assert_eq!(groups.len(), partitioning.items());
+        let mut slots = vec![(0u32, 0u32); groups.len()];
+        let mut take: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
+        let parts = partitioning
+            .ranges()
+            .iter()
+            .enumerate()
+            .map(|(p, r)| {
+                r.clone()
+                    .enumerate()
+                    .map(|(off, g)| {
+                        slots[g] = (p as u32, off as u32);
+                        take[g].take().expect("ranges are disjoint")
+                    })
+                    .collect()
+            })
+            .collect();
+        GroupStore { parts, slots }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Moves partition `p`'s groups out (for a worker shard); the slot stays
+    /// reserved and must be refilled with [`put_part`](Self::put_part)
+    /// before any group of `p` is accessed again.
+    fn take_part(&mut self, p: usize) -> Vec<Group> {
+        std::mem::take(&mut self.parts[p])
+    }
+
+    fn put_part(&mut self, p: usize, groups: Vec<Group>) {
+        debug_assert!(self.parts[p].is_empty(), "partition {p} already present");
+        self.parts[p] = groups;
+    }
+}
+
+impl std::ops::Index<usize> for GroupStore {
+    type Output = Group;
+    fn index(&self, g: usize) -> &Group {
+        let (p, off) = self.slots[g];
+        &self.parts[p as usize][off as usize]
+    }
+}
+
+impl std::ops::IndexMut<usize> for GroupStore {
+    fn index_mut(&mut self, g: usize) -> &mut Group {
+        let (p, off) = self.slots[g];
+        &mut self.parts[p as usize][off as usize]
     }
 }
 
@@ -604,7 +780,7 @@ struct AcWorld<'t, S: TelemetrySink> {
     noc: MeshNoc,
     dispatch_op: SimDuration,
     intra_transfer: Transfer,
-    groups: Vec<Group>,
+    groups: GroupStore,
     topo: Vec<GroupTopo>,
     scratch: TickScratch,
     completed: usize,
@@ -704,6 +880,273 @@ fn send_msg_via(
     }
 }
 
+/// Where a quiet handler's externally-visible effects land.
+///
+/// Quiet events — the healthy intra-group request lifecycle (`Enqueue`,
+/// `Deliver`, `WorkerDone`, `MgrOpDone`) — mutate only their own group plus
+/// three global channels: follow-up event pushes, telemetry span points,
+/// and completion records. Routing those through this trait lets one
+/// handler body serve both the serial loop ([`SerialSink`] applies effects
+/// directly) and a worker shard of the parallel engine (`par::ShardSink`
+/// records them for an order-exact replay on the main thread).
+trait QuietSink {
+    fn push(&mut self, at: SimTime, ev: Ev);
+    fn span(&mut self, track: u32, kind: u16, loc: u32, at: SimTime);
+    fn complete(&mut self, c: Completion);
+}
+
+/// The serial loop's [`QuietSink`]: effects go straight to the event queue,
+/// telemetry sink and result accumulator.
+struct SerialSink<'a, S: TelemetrySink> {
+    q: &'a mut EventQueue<Ev>,
+    tel: &'a mut S,
+    result: &'a mut SystemResult,
+    completed: &'a mut usize,
+}
+
+impl<S: TelemetrySink> QuietSink for SerialSink<'_, S> {
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        self.q.push(at, ev);
+    }
+    fn span(&mut self, track: u32, kind: u16, loc: u32, at: SimTime) {
+        self.tel.span_point(track, kind, loc, at);
+    }
+    fn complete(&mut self, c: Completion) {
+        self.result.record(c);
+        *self.completed += 1;
+    }
+}
+
+/// Read-only context a quiet handler needs, detached from [`AcWorld`] so
+/// the same code can run inside a worker shard that owns nothing but its
+/// partition's groups. The fault-layer inputs are per-group slices; the
+/// empty slices / `false` flags are the healthy fast path, and the only one
+/// shards ever see (faulted runs stay serial).
+struct QuietEnv<'a> {
+    trace: &'a Trace,
+    cfg: &'a AcConfig,
+    intra_transfer: &'a Transfer,
+    dispatch_op: SimDuration,
+    /// Dead-worker flags of this group; empty on healthy runs.
+    dead: &'a [bool],
+    /// Liveness epochs of this group's workers; empty (all zero) on healthy
+    /// runs.
+    epochs: &'a [u32],
+    /// True when this group's manager has failed.
+    mgr_dead: bool,
+    /// True when straggler inflation must be consulted (non-empty plan).
+    inflate: bool,
+}
+
+impl QuietEnv<'_> {
+    /// Total on-core cost for trace request `idx`.
+    fn total_cost(&self, idx: usize) -> SimDuration {
+        let req = &self.trace.requests()[idx];
+        self.cfg.stack.rx(req.size_bytes) + req.service + self.cfg.stack.tx(64)
+    }
+
+    /// Core id of worker `w` in group `g` (the id completions report).
+    fn worker_core(&self, g: usize, w: usize) -> u32 {
+        (g * self.cfg.group_size + 1 + w) as u32
+    }
+
+    fn epoch_of(&self, w: usize) -> u32 {
+        self.epochs.get(w).copied().unwrap_or(0)
+    }
+
+    /// Healthy core of [`Ev::Enqueue`]: the request lands in its group's
+    /// NetRX queue (takeover redirection and dormancy wake, both serial-only
+    /// concerns, happen in the caller).
+    fn enqueue(
+        &self,
+        g: usize,
+        idx: usize,
+        now: SimTime,
+        grp: &mut Group,
+        sink: &mut impl QuietSink,
+    ) {
+        let arrival = self.trace.requests()[idx].arrival;
+        sink.span(idx as u32, span::ARRIVAL, g as u32, arrival);
+        sink.span(idx as u32, span::NETRX_ENQUEUE, g as u32, now);
+        let qr = QueuedRequest::new(idx, self.total_cost(idx), now);
+        grp.netrx.push_back(qr);
+        grp.arrivals_since_tick += 1;
+        self.try_dispatch(g, now, grp, sink);
+    }
+
+    /// Intra-group dispatch: hardware (ACint) pushes immediately; ACrss
+    /// serializes 70-cycle manager operations carrying up to
+    /// `dispatch_batch` descriptors.
+    fn try_dispatch(&self, g: usize, now: SimTime, grp: &mut Group, sink: &mut impl QuietSink) {
+        if self.mgr_dead {
+            // Nobody left to pop NetRX; the takeover heir adopts the queue.
+            return;
+        }
+        match self.cfg.attachment {
+            Attachment::Integrated => loop {
+                if grp.netrx.is_empty() {
+                    return;
+                }
+                let Some(w) = grp.free_worker(self.cfg.local_bound, self.dead) else {
+                    return;
+                };
+                let qr = grp.netrx.pop_front().expect("checked non-empty");
+                grp.in_flight[w] += 1;
+                let core = self.worker_core(g, w);
+                sink.span(qr.idx as u32, span::DISPATCH, core, now);
+                let req = &self.trace.requests()[qr.idx];
+                let xfer = self.intra_transfer.latency(req.size_bytes);
+                sink.push(now + xfer, Ev::Deliver(g, w, qr));
+            },
+            Attachment::RssPcie => {
+                if grp.netrx.is_empty() {
+                    return;
+                }
+                if grp.mgr_busy_until > now {
+                    if !grp.dispatch_pending {
+                        grp.dispatch_pending = true;
+                        let at = grp.mgr_busy_until;
+                        sink.push(at, Ev::MgrOpDone(g));
+                    }
+                    return;
+                }
+                // One serialized op moves up to dispatch_batch descriptors.
+                let mut moved = 0;
+                let done_at = now + self.dispatch_op;
+                while moved < self.cfg.dispatch_batch {
+                    if grp.netrx.is_empty() {
+                        break;
+                    }
+                    let Some(w) = grp.free_worker(self.cfg.local_bound, self.dead) else {
+                        break;
+                    };
+                    let qr = grp.netrx.pop_front().expect("checked non-empty");
+                    grp.in_flight[w] += 1;
+                    let core = self.worker_core(g, w);
+                    sink.span(qr.idx as u32, span::DISPATCH, core, now);
+                    sink.push(done_at, Ev::Deliver(g, w, qr));
+                    moved += 1;
+                }
+                if moved > 0 {
+                    grp.mgr_busy_until = done_at;
+                    grp.dispatch_pending = true;
+                    sink.push(done_at, Ev::MgrOpDone(g));
+                }
+            }
+        }
+    }
+
+    /// Healthy core of [`Ev::Deliver`] (the dead-worker bounce, a
+    /// cross-group concern, happens in the caller).
+    fn deliver(
+        &self,
+        g: usize,
+        w: usize,
+        qr: QueuedRequest,
+        now: SimTime,
+        grp: &mut Group,
+        sink: &mut impl QuietSink,
+    ) {
+        let core = self.worker_core(g, w);
+        sink.span(qr.idx as u32, span::WORKER_ARRIVE, core, now);
+        grp.in_flight[w] -= 1;
+        if grp.running[w].is_none() && grp.waiting[w].is_empty() {
+            self.start_worker(g, w, qr, now, grp, sink);
+        } else {
+            grp.waiting[w].push_back(qr);
+        }
+    }
+
+    fn start_worker(
+        &self,
+        g: usize,
+        w: usize,
+        qr: QueuedRequest,
+        now: SimTime,
+        grp: &mut Group,
+        sink: &mut impl QuietSink,
+    ) {
+        debug_assert!(grp.running[w].is_none());
+        let core = self.worker_core(g, w);
+        sink.span(qr.idx as u32, span::SERVICE_START, core, now);
+        // Straggler intervals inflate the wall time of service *started*
+        // inside them. `inflate` returns the input bit-for-bit when no
+        // straggler covers this core/instant, and the whole branch is
+        // absent on healthy runs.
+        let wall = if self.inflate {
+            self.cfg.faults.inflate(core as usize, now, qr.remaining)
+        } else {
+            qr.remaining
+        };
+        grp.running[w] = Some(qr);
+        sink.push(now + wall, Ev::WorkerDone(g, w, self.epoch_of(w)));
+    }
+
+    /// Healthy core of [`Ev::WorkerDone`] (the stale-epoch check happens in
+    /// the caller).
+    fn worker_done(
+        &self,
+        g: usize,
+        w: usize,
+        now: SimTime,
+        grp: &mut Group,
+        sink: &mut impl QuietSink,
+    ) {
+        let qr = grp.running[w].take().expect("done on idle worker");
+        let core = self.worker_core(g, w);
+        sink.span(qr.idx as u32, span::COMPLETE, core, now);
+        let req = &self.trace.requests()[qr.idx];
+        sink.complete(Completion {
+            id: req.id,
+            arrival: req.arrival,
+            finish: now,
+            core: core as usize,
+            migrated: qr.migrated,
+        });
+        if let Some(next) = grp.waiting[w].pop_front() {
+            self.start_worker(g, w, next, now, grp, sink);
+        }
+        self.try_dispatch(g, now, grp, sink);
+    }
+
+    fn mgr_op_done(&self, g: usize, now: SimTime, grp: &mut Group, sink: &mut impl QuietSink) {
+        grp.dispatch_pending = false;
+        self.try_dispatch(g, now, grp, sink);
+    }
+}
+
+/// Splits an `AcWorld` into the disjoint borrows a quiet handler needs: a
+/// [`QuietEnv`] for group `$g`, the group itself, and a [`SerialSink`] over
+/// `$q` plus the world's telemetry/result fields. A macro rather than a
+/// method so the field borrows stay visibly disjoint to the borrow checker.
+macro_rules! quiet_parts {
+    ($self:expr, $g:expr, $q:expr) => {{
+        let (dead, epochs, mgr_dead, inflate): (&[bool], &[u32], bool, bool) = match &$self.faults {
+            Some(f) => (&f.dead[$g], &f.epoch[$g], f.mgr_dead[$g], true),
+            None => (&[], &[], false, false),
+        };
+        (
+            QuietEnv {
+                trace: $self.trace,
+                cfg: $self.cfg,
+                intra_transfer: &$self.intra_transfer,
+                dispatch_op: $self.dispatch_op,
+                dead,
+                epochs,
+                mgr_dead,
+                inflate,
+            },
+            &mut $self.groups[$g],
+            SerialSink {
+                q: $q,
+                tel: &mut *$self.tel,
+                result: &mut $self.result,
+                completed: &mut $self.completed,
+            },
+        )
+    }};
+}
+
 impl<S: TelemetrySink> AcWorld<'_, S> {
     /// Total on-core cost for trace request `idx`.
     fn total_cost(&self, idx: usize) -> SimDuration {
@@ -714,11 +1157,6 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     /// Mesh tile of a manager core.
     fn mgr_tile(&self, g: usize) -> usize {
         g * self.cfg.group_size
-    }
-
-    /// Core id of worker `w` in group `g` (the id completions report).
-    fn worker_core(&self, g: usize, w: usize) -> u32 {
-        (g * self.cfg.group_size + 1 + w) as u32
     }
 
     fn elided(&self) -> bool {
@@ -935,97 +1373,12 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         }
     }
 
-    /// Intra-group dispatch: hardware (ACint) pushes immediately; ACrss
-    /// serializes 70-cycle manager operations carrying up to
-    /// `dispatch_batch` descriptors.
+    /// Intra-group dispatch (see [`QuietEnv::try_dispatch`] for the body);
+    /// this wrapper serves the serial-only call sites (fault recovery,
+    /// message handling).
     fn try_dispatch(&mut self, g: usize, now: SimTime, q: &mut EventQueue<Ev>) {
-        if self.mgr_is_dead(g) {
-            // Nobody left to pop NetRX; the takeover heir adopts the queue.
-            return;
-        }
-        match self.cfg.attachment {
-            Attachment::Integrated => loop {
-                if self.groups[g].netrx.is_empty() {
-                    return;
-                }
-                let Some(w) = self.groups[g].free_worker(self.cfg.local_bound, self.dead_of(g))
-                else {
-                    return;
-                };
-                let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
-                self.groups[g].in_flight[w] += 1;
-                let core = self.worker_core(g, w);
-                self.tel
-                    .span_point(qr.idx as u32, span::DISPATCH, core, now);
-                let req = &self.trace.requests()[qr.idx];
-                let xfer = self.intra_transfer.latency(req.size_bytes);
-                q.push(now + xfer, Ev::Deliver(g, w, qr));
-            },
-            Attachment::RssPcie => {
-                let grp = &mut self.groups[g];
-                if grp.netrx.is_empty() {
-                    return;
-                }
-                if grp.mgr_busy_until > now {
-                    if !grp.dispatch_pending {
-                        grp.dispatch_pending = true;
-                        let at = grp.mgr_busy_until;
-                        q.push(at, Ev::MgrOpDone(g));
-                    }
-                    return;
-                }
-                // One serialized op moves up to dispatch_batch descriptors.
-                let mut moved = 0;
-                let done_at = now + self.dispatch_op;
-                while moved < self.cfg.dispatch_batch {
-                    if self.groups[g].netrx.is_empty() {
-                        break;
-                    }
-                    let Some(w) = self.groups[g].free_worker(self.cfg.local_bound, self.dead_of(g))
-                    else {
-                        break;
-                    };
-                    let qr = self.groups[g].netrx.pop_front().expect("checked non-empty");
-                    self.groups[g].in_flight[w] += 1;
-                    let core = self.worker_core(g, w);
-                    self.tel
-                        .span_point(qr.idx as u32, span::DISPATCH, core, now);
-                    q.push(done_at, Ev::Deliver(g, w, qr));
-                    moved += 1;
-                }
-                if moved > 0 {
-                    let grp = &mut self.groups[g];
-                    grp.mgr_busy_until = done_at;
-                    grp.dispatch_pending = true;
-                    q.push(done_at, Ev::MgrOpDone(g));
-                }
-            }
-        }
-    }
-
-    fn start_worker(
-        &mut self,
-        g: usize,
-        w: usize,
-        qr: QueuedRequest,
-        now: SimTime,
-        q: &mut EventQueue<Ev>,
-    ) {
-        debug_assert!(self.groups[g].running[w].is_none());
-        let core = self.worker_core(g, w);
-        self.tel
-            .span_point(qr.idx as u32, span::SERVICE_START, core, now);
-        // Straggler intervals inflate the wall time of service *started*
-        // inside them. `inflate` returns the input bit-for-bit when no
-        // straggler covers this core/instant, and the whole branch is
-        // absent on healthy runs.
-        let wall = if self.faults.is_some() {
-            self.cfg.faults.inflate(core as usize, now, qr.remaining)
-        } else {
-            qr.remaining
-        };
-        self.groups[g].running[w] = Some(qr);
-        q.push(now + wall, Ev::WorkerDone(g, w, self.epoch_of(g, w)));
+        let (env, grp, mut sink) = quiet_parts!(self, g, q);
+        env.try_dispatch(g, now, grp, &mut sink);
     }
 
     /// Returns a recovered request to the NetRX queue currently serving
@@ -1664,15 +2017,8 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                 // Arrivals wake a group out of idle fast-forward; the
                 // skipped ticks are replayed before the request lands.
                 self.wake_group(g, now, None, q);
-                let arrival = self.trace.requests()[idx].arrival;
-                self.tel
-                    .span_point(idx as u32, span::ARRIVAL, g as u32, arrival);
-                self.tel
-                    .span_point(idx as u32, span::NETRX_ENQUEUE, g as u32, now);
-                let qr = QueuedRequest::new(idx, self.total_cost(idx), now);
-                self.groups[g].netrx.push_back(qr);
-                self.groups[g].arrivals_since_tick += 1;
-                self.try_dispatch(g, now, q);
+                let (env, grp, mut sink) = quiet_parts!(self, g, q);
+                env.enqueue(g, idx, now, grp, &mut sink);
             }
             Ev::Deliver(g, w, qr) => {
                 // A group with work in flight can never be dormant.
@@ -1693,15 +2039,8 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                     self.try_dispatch(tgt, now, q);
                     return;
                 }
-                let core = self.worker_core(g, w);
-                self.tel
-                    .span_point(qr.idx as u32, span::WORKER_ARRIVE, core, now);
-                self.groups[g].in_flight[w] -= 1;
-                if self.groups[g].running[w].is_none() && self.groups[g].waiting[w].is_empty() {
-                    self.start_worker(g, w, qr, now, q);
-                } else {
-                    self.groups[g].waiting[w].push_back(qr);
-                }
+                let (env, grp, mut sink) = quiet_parts!(self, g, q);
+                env.deliver(g, w, qr, now, grp, &mut sink);
             }
             Ev::WorkerDone(g, w, epoch) => {
                 // A completion from before the worker's death is stale: the
@@ -1710,29 +2049,12 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                     return;
                 }
                 debug_assert!(!self.groups[g].dormant, "completion at a dormant group");
-                let qr = self.groups[g].running[w]
-                    .take()
-                    .expect("done on idle worker");
-                let core = self.worker_core(g, w);
-                self.tel
-                    .span_point(qr.idx as u32, span::COMPLETE, core, now);
-                let req = &self.trace.requests()[qr.idx];
-                self.result.record(Completion {
-                    id: req.id,
-                    arrival: req.arrival,
-                    finish: now,
-                    core: core as usize,
-                    migrated: qr.migrated,
-                });
-                self.completed += 1;
-                if let Some(next) = self.groups[g].waiting[w].pop_front() {
-                    self.start_worker(g, w, next, now, q);
-                }
-                self.try_dispatch(g, now, q);
+                let (env, grp, mut sink) = quiet_parts!(self, g, q);
+                env.worker_done(g, w, now, grp, &mut sink);
             }
             Ev::MgrOpDone(g) => {
-                self.groups[g].dispatch_pending = false;
-                self.try_dispatch(g, now, q);
+                let (env, grp, mut sink) = quiet_parts!(self, g, q);
+                env.mgr_op_done(g, now, grp, &mut sink);
             }
             Ev::Tick(g) => self.runtime_tick(g, now, q),
             Ev::Msg { dst, seq, msg } => self.handle_msg(dst, seq, msg, now, q),

@@ -21,8 +21,10 @@
 //! telemetry may add only the recorder's own amortized ring growth (span
 //! log doubling), nothing per-event beyond it.
 //!
-//! Single `#[test]` on purpose: the global counter is process-wide and
-//! sibling tests on other threads would pollute the deltas.
+//! Runs without the libtest harness (`harness = false` in Cargo.toml): the
+//! global counter is process-wide, and libtest's own main thread allocates
+//! lazily mid-test (its channel-receive context), polluting the deltas — a
+//! plain `fn main` keeps the process single-threaded.
 
 use altocumulus::{AcConfig, Altocumulus, Telemetry};
 use simcore::alloc::CountingAlloc;
@@ -97,8 +99,7 @@ fn assert_pinned(label: &str, small_trace: &Trace, big_trace: &Trace) {
     assert_pinned_by(label, small_trace, big_trace, 0.01, run);
 }
 
-#[test]
-fn altocumulus_steady_state_allocations_pinned() {
+fn main() {
     // Moderate load: the mailbox UPDATE path carries the manager plane.
     // `run_detailed` *is* the telemetry-disabled mode — the NullSink
     // monomorphization — so these two regimes double as the
@@ -117,4 +118,5 @@ fn altocumulus_steady_state_allocations_pinned() {
         0.02,
         run_traced,
     );
+    println!("alloc_budget(altocumulus): all regimes pinned");
 }

@@ -64,6 +64,23 @@ const DEFAULT_BUCKET_WIDTH_LOG2: u32 = 16;
 /// and timer horizons the schedulers work with.
 const DEFAULT_NUM_BUCKETS: usize = 1 << 10;
 
+/// Narrowest bucket width the adaptive geometry will shrink to: 2^6 ps.
+const MIN_BUCKET_WIDTH_LOG2: u32 = 6;
+
+/// A popped bucket holding more live events than this triggers a narrowing
+/// rehash (quartering the bucket width). The linear within-bucket min scan
+/// is what an adversarial dense population degrades; past a few dozen
+/// entries the O(n) rehash amortizes against the O(n) scans it replaces.
+const NARROW_BUCKET_LIMIT: usize = 48;
+
+/// A single pop that advances the cursor across more than this many empty
+/// buckets triggers a widening rehash (4× the bucket width, clamped to the
+/// construction-time width). Widening quarters the per-pop scan distance,
+/// so a stable population settles within two rehashes; narrowing needs a
+/// 48-deep bucket, which a population sparse enough to trip this limit
+/// cannot also produce at the widened width.
+const WIDEN_SCAN_LIMIT: u64 = 8;
+
 /// A min-time priority queue of simulation events, implemented as a calendar
 /// queue (bucketed timing wheel) with a sorted overflow heap.
 ///
@@ -102,6 +119,9 @@ pub struct EventQueue<E> {
     /// behind `base_day`. Ordered min-first via [`Scheduled`]'s inverted Ord.
     overflow: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    /// Widest width the adaptive geometry may widen back to — the
+    /// construction-time width.
+    max_width_log2: u32,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -139,7 +159,14 @@ impl<E> EventQueue<E> {
             ring_len: 0,
             overflow: BinaryHeap::new(),
             next_seq: 0,
+            max_width_log2: width_log2,
         }
+    }
+
+    /// Current bucket width (log2 picoseconds). Adaptive: dense populations
+    /// narrow it, sparse ones widen it back toward the construction width.
+    pub fn bucket_width_log2(&self) -> u32 {
+        self.width_log2
     }
 
     #[inline]
@@ -220,11 +247,38 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Rebuilds the ring under a new bucket width, re-anchoring the window
+    /// at the earliest live day. Pop order is a pure function of
+    /// `(time, seq)`, so a rehash is invisible to everything but the cost
+    /// of the within-bucket scan — which is exactly what it exists to bound.
+    fn rehash(&mut self, new_width_log2: u32) {
+        let mut live: Vec<Scheduled<E>> = Vec::with_capacity(self.ring_len);
+        for b in &mut self.buckets {
+            live.append(b);
+        }
+        self.ring_len = 0;
+        self.width_log2 = new_width_log2;
+        let min_day = live
+            .iter()
+            .map(|s| self.day_of(s.time))
+            .min()
+            .or_else(|| self.overflow.peek().map(|s| self.day_of(s.time)))
+            .unwrap_or(0);
+        self.base_day = min_day;
+        self.cursor_day = min_day;
+        // Events whose day no longer fits the (narrower) window fall into
+        // the overflow; pop_scheduled already arbitrates ring vs overflow.
+        for s in live {
+            self.push_scheduled(s);
+        }
+    }
+
     /// Finds the `(bucket_slot, index_within_bucket)` of the earliest ring
-    /// event, advancing the cursor past empty buckets. Ring must be
-    /// non-empty.
-    fn ring_min(&mut self) -> (usize, usize) {
+    /// event, advancing the cursor past empty buckets (the count of which is
+    /// returned for the widening heuristic). Ring must be non-empty.
+    fn ring_min(&mut self) -> (usize, usize, u64) {
         debug_assert!(self.ring_len > 0);
+        let start_day = self.cursor_day;
         loop {
             let slot = self.slot_of(self.cursor_day);
             if self.buckets[slot].is_empty() {
@@ -242,7 +296,7 @@ impl<E> EventQueue<E> {
                     best = i;
                 }
             }
-            return (slot, best);
+            return (slot, best, self.cursor_day - start_day);
         }
     }
 
@@ -268,13 +322,49 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest entry with its sequence number.
     fn pop_scheduled(&mut self) -> Option<Scheduled<E>> {
-        if self.ring_len == 0 {
-            self.migrate_overflow();
+        loop {
+            if self.ring_len == 0 {
+                self.migrate_overflow();
+                // A freshly re-anchored window that captured almost nothing
+                // while plenty of events wait beyond it means the narrowed
+                // width no longer matches the population: widen and retry
+                // (a dense burst has drained and normal spacing resumed).
+                if self.ring_len > 0
+                    && self.ring_len <= 2
+                    && self.overflow.len() >= 64
+                    && self.width_log2 < self.max_width_log2
+                {
+                    self.rehash((self.width_log2 + 2).min(self.max_width_log2));
+                    continue;
+                }
+            }
+            if self.ring_len == 0 {
+                return self.overflow.pop();
+            }
+            let (slot, idx, scanned) = self.ring_min();
+            // Adaptive geometry. A bucket denser than the scan limit means
+            // the workload packed its live horizon into a sliver of the
+            // window (the adversarial dense-churn case): quarter the width
+            // and re-find the minimum. A pop that had to walk hundreds of
+            // empty buckets means the opposite; widen back toward the
+            // construction-time width.
+            if self.buckets[slot].len() > NARROW_BUCKET_LIMIT
+                && self.width_log2 > MIN_BUCKET_WIDTH_LOG2
+            {
+                self.rehash(self.width_log2.saturating_sub(2).max(MIN_BUCKET_WIDTH_LOG2));
+                continue;
+            }
+            if scanned > WIDEN_SCAN_LIMIT && self.width_log2 < self.max_width_log2 {
+                self.rehash((self.width_log2 + 2).min(self.max_width_log2));
+                continue;
+            }
+            return self.pop_from_ring(slot, idx);
         }
-        if self.ring_len == 0 {
-            return self.overflow.pop();
-        }
-        let (slot, idx) = self.ring_min();
+    }
+
+    /// Removes ring entry `(slot, idx)`, unless the overflow head is earlier
+    /// (an event pushed behind the window), which pops instead.
+    fn pop_from_ring(&mut self, slot: usize, idx: usize) -> Option<Scheduled<E>> {
         // The overflow can only beat the ring with an event pushed behind the
         // window (time strictly earlier than every ring day).
         if let Some(head) = self.overflow.peek() {
@@ -290,6 +380,15 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_scheduled().map(|s| (s.time, s.event))
+    }
+
+    /// Removes and returns the earliest event together with its sequence
+    /// number — the `(time, seq)` rank is the queue's total order, so a
+    /// caller that needs to reinsert the event later (or merge events from
+    /// several queues deterministically) can preserve its exact position via
+    /// [`push_at_seq`](Self::push_at_seq).
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        self.pop_scheduled().map(|s| (s.time, s.seq, s.event))
     }
 
     /// The time of the earliest pending event, if any.
@@ -517,6 +616,32 @@ impl<L, M> StreamInjector<L, M> {
             lower_bound,
             make,
         }
+    }
+
+    /// Number of stream items injected so far.
+    pub fn injected(&self) -> usize {
+        self.next
+    }
+
+    /// Total number of items in the stream.
+    pub fn total(&self) -> usize {
+        self.len
+    }
+
+    /// Items injected per [`EventSource::inject_chunk`] call.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl<L: Fn(usize) -> SimTime, M> StreamInjector<L, M> {
+    /// The lower-bound watermark of stream item `idx` (side-effect free; see
+    /// the [`EventSource`] contract). Callers replaying the injection
+    /// schedule virtually — without touching the physical cursor — use this
+    /// to decide when a serial run would have refilled the queue.
+    pub fn bound_of(&self, idx: usize) -> SimTime {
+        debug_assert!(idx < self.len);
+        (self.lower_bound)(idx)
     }
 }
 
@@ -967,5 +1092,126 @@ mod tests {
         assert!(summary.stopped_early);
         assert_eq!(summary.events, 3);
         assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn pop_with_seq_round_trips_through_push_at_seq() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 'a');
+        q.push(SimTime::from_ns(10), 'b');
+        q.push(SimTime::from_ns(5), 'c');
+        let (t, s, e) = q.pop_with_seq().expect("non-empty");
+        assert_eq!((t, e), (SimTime::from_ns(5), 'c'));
+        // Reinserting under the original seq restores the exact total order.
+        q.push_at_seq(t, s, e);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['c', 'a', 'b']);
+    }
+
+    /// The adversarial dense-churn pattern from the calendar-queue bench:
+    /// thousands of live events packed into ~2 µs. The adaptive geometry
+    /// must narrow (bounding the within-bucket scans) while popping in
+    /// exactly the oracle's order.
+    #[test]
+    fn dense_churn_narrows_and_matches_oracle() {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64; // ps
+        for _ in 0..4096 {
+            let t = SimTime::from_ps(now + rng() % 2_000_000);
+            cal.push(t, t);
+            heap.push(t, t);
+        }
+        for _ in 0..20_000 {
+            let (tc, ec) = cal.pop().expect("calendar");
+            let (th, eh) = heap.pop().expect("heap");
+            assert_eq!((tc, ec), (th, eh));
+            now = tc.as_ps();
+            let t = SimTime::from_ps(now + rng() % 2_000_000);
+            cal.push(t, t);
+            heap.push(t, t);
+        }
+        assert!(
+            cal.bucket_width_log2() < DEFAULT_BUCKET_WIDTH_LOG2,
+            "a 4k-event 2 µs horizon must trigger a narrowing rehash (width 2^{})",
+            cal.bucket_width_log2()
+        );
+        while let Some(got) = cal.pop() {
+            assert_eq!(Some(got), heap.pop());
+        }
+        assert!(heap.is_empty());
+    }
+
+    /// After a dense burst drains, normally-spaced traffic must widen the
+    /// geometry back toward the construction width instead of staying in
+    /// permanent overflow-heap mode.
+    #[test]
+    fn widens_back_after_dense_burst() {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        // Dense burst: 4096 events inside 2 µs.
+        for i in 0..4096u64 {
+            let t = SimTime::from_ps(i * 488);
+            cal.push(t, t);
+            heap.push(t, t);
+        }
+        // Normal tail: one event every ~200 ns for 200 µs.
+        for i in 0..1000u64 {
+            let t = SimTime::from_ns(2_000 + i * 200);
+            cal.push(t, t);
+            heap.push(t, t);
+        }
+        while let Some(got) = cal.pop() {
+            assert_eq!(Some(got), heap.pop());
+        }
+        assert!(heap.is_empty());
+        assert_eq!(
+            cal.bucket_width_log2(),
+            DEFAULT_BUCKET_WIDTH_LOG2,
+            "sparse traffic after the burst must widen the geometry back"
+        );
+    }
+
+    /// Geometry adaptation is invisible to the pop order on arbitrary
+    /// mixed-density interleavings (the oracle differential, densified).
+    #[test]
+    fn adaptive_geometry_matches_oracle_on_mixed_densities() {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut now = 0u64;
+        for step in 0..30_000u32 {
+            // Alternate dense (sub-µs) and sparse (hundreds of µs) regimes.
+            let span = if (step / 3_000) % 2 == 0 {
+                800_000
+            } else {
+                400_000_000
+            };
+            let t = SimTime::from_ps(now + rng() % span);
+            cal.push(t, t);
+            heap.push(t, t);
+            if step % 3 != 0 {
+                let (tc, ec) = cal.pop().expect("calendar");
+                assert_eq!(Some((tc, ec)), heap.pop());
+                now = tc.as_ps();
+            }
+        }
+        while let Some(got) = cal.pop() {
+            assert_eq!(Some(got), heap.pop());
+        }
+        assert!(heap.is_empty());
     }
 }

@@ -13,6 +13,8 @@
 //! - [`rng`]: per-component deterministic RNG streams.
 //! - [`alloc`]: a counting global allocator for allocation-budget tests.
 //! - [`parallel`]: deterministic thread fan-out for parameter sweeps.
+//! - [`parengine`]: partitioning and worker-pool plumbing for the
+//!   parallel-in-one-run engine.
 //! - [`report`]: aligned plain-text tables for experiment output.
 //! - [`telemetry`]: request-lifecycle spans, time-series probes and
 //!   Perfetto/JSONL export behind a zero-cost [`telemetry::TelemetrySink`].
@@ -73,6 +75,7 @@ pub mod event;
 pub mod faults;
 pub mod metrics;
 pub mod parallel;
+pub mod parengine;
 pub mod report;
 pub mod rng;
 pub mod stats;
@@ -85,6 +88,7 @@ pub use event::{
 pub use faults::{FaultPlan, NocDecision, NocFaultRng};
 pub use metrics::{LatencyHistogram, LatencySummary, SloTracker};
 pub use parallel::{default_threads, parallel_map, seeded_map};
+pub use parengine::{par_threads, Partitioning};
 pub use stats::{batch_means_ci, MeanCi};
 pub use telemetry::{NullSink, Telemetry, TelemetrySink};
 pub use time::{SimDuration, SimTime};

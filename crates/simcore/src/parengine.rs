@@ -1,0 +1,416 @@
+//! Building blocks for the parallel-in-one-run engine.
+//!
+//! Sweep-level fan-out ([`crate::parallel`]) cannot speed up *one* large
+//! simulation; for that the engine itself must run event windows of
+//! independent mesh partitions on different threads. This module holds the
+//! engine-agnostic pieces:
+//!
+//! - [`Partitioning`]: a validated split of `n` scheduling groups into
+//!   contiguous, disjoint ranges — one per worker shard. Ranges may be
+//!   listed in any order; determinism must never depend on partition order
+//!   (the engine merges shard output on the exact `(time, seq)` rank).
+//! - [`with_pool`]: a persistent scoped worker pool with spin-polling
+//!   channels. Simulation windows are short (microseconds of work), so the
+//!   pool is created **once per run** and jobs are exchanged over lock-free
+//!   mpsc channels with busy-wait receives — a per-window `thread::scope`
+//!   would cost more in spawn/join than the window itself.
+//! - [`par_threads`]: the `PAR_THREADS` environment knob, mirroring the
+//!   sweep-level `SWEEP_THREADS` convention.
+//!
+//! Nothing here knows about the simulated system; determinism is the
+//! *caller's* obligation (tag jobs, merge results by rank). The pool only
+//! guarantees that every job sent is executed exactly once by the worker it
+//! was addressed to.
+
+use std::ops::Range;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Busy-wait iterations before a blocked receive starts yielding the CPU.
+/// On a machine with a single hardware thread the budget is zero: spinning
+/// can never let the other side progress, so both ends go straight to
+/// yielding/blocking (the pool stays correct, just cooperatively scheduled).
+const SPIN_BUDGET: u32 = 10_000;
+
+/// The effective spin budget for this machine (see [`SPIN_BUDGET`]).
+fn spin_budget() -> u32 {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_BUDGET,
+        _ => 0,
+    }
+}
+
+/// Hard ceiling on how long a receive may block. Only reachable if a worker
+/// died mid-job (a bug); turning a silent deadlock into a loud panic keeps
+/// CI failures diagnosable.
+const RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A split of `n` items (scheduling groups) into contiguous, disjoint
+/// ranges that exactly cover `0..n`.
+///
+/// Ranges may appear in any order — the engine's output is required to be
+/// independent of partition order, and tests exercise permuted layouts.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::parengine::Partitioning;
+///
+/// let p = Partitioning::even(10, 4);
+/// assert_eq!(p.parts(), 4);
+/// assert_eq!(p.ranges()[0], 0..3); // remainder spread over the first parts
+/// assert_eq!(p.part_of(9), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    n: usize,
+    ranges: Vec<Range<usize>>,
+    part_of: Vec<u32>,
+}
+
+impl Partitioning {
+    /// Builds a partitioning from explicit ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ranges are non-empty, in-bounds, disjoint, and
+    /// together cover every index in `0..n` exactly once.
+    pub fn new(n: usize, ranges: Vec<Range<usize>>) -> Self {
+        assert!(n > 0, "cannot partition zero items");
+        let mut part_of = vec![u32::MAX; n];
+        for (p, r) in ranges.iter().enumerate() {
+            assert!(!r.is_empty(), "partition {p} is empty ({r:?})");
+            assert!(r.end <= n, "partition {p} out of bounds ({r:?} vs n={n})");
+            for g in r.clone() {
+                assert!(
+                    part_of[g] == u32::MAX,
+                    "item {g} covered by partitions {} and {p}",
+                    part_of[g]
+                );
+                part_of[g] = p as u32;
+            }
+        }
+        assert!(
+            part_of.iter().all(|&p| p != u32::MAX),
+            "partitioning does not cover 0..{n}"
+        );
+        Partitioning { n, ranges, part_of }
+    }
+
+    /// Splits `0..n` into `parts` near-equal contiguous ranges (the first
+    /// `n % parts` ranges get one extra item). `parts` is clamped to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `parts == 0`.
+    pub fn even(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        let parts = parts.min(n);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        Self::new(n, ranges)
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of items partitioned.
+    pub fn items(&self) -> usize {
+        self.n
+    }
+
+    /// The ranges, in partition order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Which partition owns item `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn part_of(&self, g: usize) -> usize {
+        self.part_of[g] as usize
+    }
+}
+
+/// Worker-thread count for the parallel engine: the `PAR_THREADS`
+/// environment variable if set and ≥ 2, otherwise 1 (serial).
+///
+/// Unlike sweeps, a single run does not default to `available_parallelism`:
+/// parallel execution of one run is opt-in, because below a work threshold
+/// the serial engine is faster.
+pub fn par_threads() -> usize {
+    if let Ok(v) = std::env::var("PAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// Handle for submitting jobs to, and collecting results from, a pool
+/// created by [`with_pool`].
+pub struct PoolHandle<J, R> {
+    senders: Vec<mpsc::Sender<J>>,
+    results: mpsc::Receiver<R>,
+    in_flight: usize,
+    spin_budget: u32,
+}
+
+impl<J, R> PoolHandle<J, R> {
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Jobs submitted but not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Sends `job` to worker `w`. Never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or the worker has died.
+    pub fn send(&mut self, w: usize, job: J) {
+        self.senders[w].send(job).expect("pool worker died");
+        self.in_flight += 1;
+    }
+
+    /// Receives one result, in whatever order workers finish. Spins briefly,
+    /// then yields; callers needing ordered results must tag jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job is outstanding, or if no result arrives within the
+    /// (generous) deadline — which means a worker died mid-job.
+    pub fn recv(&mut self) -> R {
+        assert!(self.in_flight > 0, "recv() with no job in flight");
+        self.in_flight -= 1;
+        let mut spins = 0u32;
+        loop {
+            match self.results.try_recv() {
+                Ok(r) => return r,
+                Err(mpsc::TryRecvError::Empty) => {
+                    if spins < self.spin_budget {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        // Cold path: block properly instead of burning CPU.
+                        return self
+                            .results
+                            .recv_timeout(RECV_DEADLINE)
+                            .expect("pool worker died or stalled past deadline");
+                    }
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("pool worker died with a job in flight")
+                }
+            }
+        }
+    }
+}
+
+/// Runs `body` with a pool of `workers` persistent threads, each executing
+/// jobs through `f(worker_index, job)`.
+///
+/// The pool lives exactly as long as `body`: workers are spawned once,
+/// spin-poll their private job channel (with periodic yields so an idle
+/// pool does not starve the scheduler), and exit when the handle is
+/// dropped. All results produced by `f` are delivered through
+/// [`PoolHandle::recv`] in completion order.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, or propagates a panic from `f` or `body`.
+pub fn with_pool<J, R, F, B, T>(workers: usize, f: F, body: B) -> T
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+    B: FnOnce(&mut PoolHandle<J, R>) -> T,
+{
+    assert!(workers > 0, "need at least one pool worker");
+    let budget = spin_budget();
+    let (res_tx, res_rx) = mpsc::channel::<R>();
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<J>();
+            senders.push(job_tx);
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                let mut spins = 0u32;
+                loop {
+                    match job_rx.try_recv() {
+                        Ok(job) => {
+                            spins = 0;
+                            if res_tx.send(f(w, job)).is_err() {
+                                break; // handle dropped mid-send; shutting down
+                            }
+                        }
+                        Err(mpsc::TryRecvError::Empty) => {
+                            if spins < budget {
+                                spins += 1;
+                                std::hint::spin_loop();
+                            } else {
+                                spins = 0;
+                                std::thread::yield_now();
+                            }
+                        }
+                        Err(mpsc::TryRecvError::Disconnected) => break,
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut handle = PoolHandle {
+            senders,
+            results: res_rx,
+            in_flight: 0,
+            spin_budget: budget,
+        };
+        let out = body(&mut handle);
+        drop(handle); // closes job channels; workers exit, scope joins them
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partitioning_covers_with_remainder_up_front() {
+        let p = Partitioning::even(10, 4);
+        assert_eq!(p.ranges(), &[0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(p.parts(), 4);
+        assert_eq!(p.items(), 10);
+        for g in 0..10 {
+            assert!(p.ranges()[p.part_of(g)].contains(&g));
+        }
+    }
+
+    #[test]
+    fn even_clamps_parts_to_items() {
+        let p = Partitioning::even(3, 8);
+        assert_eq!(p.parts(), 3);
+        assert_eq!(p.ranges(), &[0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn explicit_ranges_may_be_permuted() {
+        let p = Partitioning::new(6, vec![4..6, 0..2, 2..4]);
+        assert_eq!(p.part_of(5), 0);
+        assert_eq!(p.part_of(0), 1);
+        assert_eq!(p.part_of(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "covered by partitions")]
+    fn overlapping_ranges_rejected() {
+        Partitioning::new(4, vec![0..2, 1..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn gapped_ranges_rejected() {
+        Partitioning::new(4, vec![0..1, 2..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_ranges_rejected() {
+        Partitioning::new(4, vec![0..2, 2..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_range_rejected() {
+        Partitioning::new(2, vec![0..2, 2..2]);
+    }
+
+    #[test]
+    fn pool_runs_every_job_on_its_worker() {
+        let out = with_pool(
+            4,
+            |w, x: u64| (w, x * 2),
+            |pool| {
+                for i in 0..32u64 {
+                    pool.send((i % 4) as usize, i);
+                }
+                let mut got: Vec<(usize, u64)> = (0..32).map(|_| pool.recv()).collect();
+                got.sort_unstable();
+                got
+            },
+        );
+        let mut want: Vec<(usize, u64)> = (0..32u64).map(|i| ((i % 4) as usize, i * 2)).collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn pool_survives_many_small_batches() {
+        // The engine sends one job per shard per window, thousands of times.
+        let total = with_pool(
+            3,
+            |_, x: u64| x + 1,
+            |pool| {
+                let mut sum = 0u64;
+                for round in 0..500u64 {
+                    for w in 0..3 {
+                        pool.send(w, round);
+                    }
+                    for _ in 0..3 {
+                        sum += pool.recv();
+                    }
+                }
+                sum
+            },
+        );
+        assert_eq!(total, 3 * (1..=500u64).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_moves_owned_buffers_both_ways() {
+        let v = with_pool(
+            2,
+            |_, mut v: Vec<u64>| {
+                v.push(99);
+                v
+            },
+            |pool| {
+                pool.send(0, vec![1, 2]);
+                pool.recv()
+            },
+        );
+        assert_eq!(v, vec![1, 2, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no job in flight")]
+    fn recv_without_send_panics() {
+        with_pool(1, |_, x: u8| x, |pool| pool.recv());
+    }
+
+    #[test]
+    fn par_threads_defaults_to_serial() {
+        // Cannot assert on the env var itself (tests run in one process),
+        // but the parse contract is: absent or garbage means 1.
+        assert!(par_threads() >= 1);
+    }
+}

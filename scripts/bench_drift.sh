@@ -24,6 +24,9 @@ base = json.load(open(sys.argv[2]))
 KEYS = [
     "altocumulus_int_4x16",
     "altocumulus_int_16x16_elided",
+    "altocumulus_int_16x16_elided_par4",
+    "altocumulus_int_32x32_elided",
+    "altocumulus_int_32x32_elided_par4",
     "altocumulus_int_16x16_event_driven",
     "nebula_jbsq",
 ]
@@ -31,6 +34,10 @@ THRESHOLD = 1.25
 
 rows, drifted = [], []
 for k in KEYS:
+    if k not in base or k not in fresh:
+        # New keys stay warn-only even against a stale baseline.
+        rows.append(f"| {k} | - | - | missing |")
+        continue
     b, f = base[k]["wall_ms"], fresh[k]["wall_ms"]
     ratio = f / b
     mark = " **drift**" if ratio > THRESHOLD else ""
