@@ -48,6 +48,20 @@ for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
   fi
 done
 
+echo "==> worker-plane elision gates"
+# The root `cargo test -q` above only covers the root package, so the
+# differential proptests (Elided vs EventDriven oracle, fault-downgrade
+# identity) are gated explicitly; the d-FCFS scheduler carries its own
+# elision and differential tests in-crate.
+cargo test -q -p altocumulus --release --test prop_workerplane
+cargo test -q -p schedulers --release dfcfs
+# Engine smoke at the stdout level: the per-event oracle must reproduce the
+# golden fig10 byte stream the elided default just matched above.
+WORKER_PLANE=event_driven cargo run -q -p bench --release --bin fig10_comparison -- --quick \
+  > target/fig10_wp_event_driven.txt
+cmp target/fig10_quick.txt target/fig10_wp_event_driven.txt
+rm -f target/fig10_wp_event_driven.txt
+
 echo "==> fault-injection smoke (determinism)"
 # A faulted sweep must be byte-identical across invocations *and* across
 # sweep-executor thread counts — faults are part of the deterministic

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for worker-plane event elision: the full
+//! ALTOCUMULUS engine with `WorkerPlane::Elided` (analytic service
+//! timelines, lazily materialized) against the `WorkerPlane::EventDriven`
+//! oracle, on the two regimes that stress the `(time, seq)` lane merge
+//! differently:
+//!
+//! - `dense_fixed`: fixed 850 ns service at high load — the schedule is
+//!   packed with exact time ties, so every elided pop exercises the
+//!   seq-rank tie-break against the main queue.
+//! - `heavy_tailed`: bimodal 500 ns / 20 µs — long requests pile queues
+//!   behind stragglers, so lanes hold their `local_bound` backlog and the
+//!   migration plane interleaves aggressively with the timeline.
+//!
+//! Both engines produce byte-identical output (asserted once per regime at
+//! setup); the benchmark isolates the wall-clock value of keeping
+//! worker-plane events out of the calendar queue.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simcore::time::SimDuration;
+use simcore::timeline::WorkerPlane;
+use workload::{PoissonProcess, ServiceDistribution, Trace, TraceBuilder};
+
+use altocumulus::{AcConfig, Altocumulus};
+
+const GROUPS: usize = 4;
+const GROUP_SIZE: usize = 16;
+const REQUESTS: usize = 8_000;
+
+fn cfg(plane: WorkerPlane, mean: SimDuration) -> AcConfig {
+    let mut cfg = AcConfig::ac_int(GROUPS, GROUP_SIZE, mean);
+    cfg.worker_plane = plane;
+    cfg
+}
+
+fn trace_for(dist: ServiceDistribution, load: f64) -> Trace {
+    let cores = GROUPS * GROUP_SIZE;
+    let rate = PoissonProcess::rate_for_load(load, cores, dist.mean());
+    TraceBuilder::new(PoissonProcess::new(rate), dist)
+        .requests(REQUESTS)
+        .connections(64)
+        .seed(3)
+        .build()
+}
+
+fn bench_regime(c: &mut Criterion, name: &str, dist: ServiceDistribution, load: f64) {
+    let mean = dist.mean();
+    let trace = trace_for(dist, load);
+    // Differential sanity once per regime: the two engines must agree on
+    // every completion before their speeds are worth comparing.
+    let a = Altocumulus::new(cfg(WorkerPlane::Elided, mean)).run_detailed(&trace);
+    let b = Altocumulus::new(cfg(WorkerPlane::EventDriven, mean)).run_detailed(&trace);
+    assert_eq!(a.system.completions, b.system.completions);
+    assert!(a.summary.events <= b.summary.events);
+
+    let mut g = c.benchmark_group(&format!("worker_plane_elision/{name}"));
+    g.bench_function("elided", |bch| {
+        bch.iter(|| {
+            let r = Altocumulus::new(cfg(WorkerPlane::Elided, mean)).run_detailed(&trace);
+            black_box(r.system.completions.len())
+        });
+    });
+    g.bench_function("event_driven", |bch| {
+        bch.iter(|| {
+            let r = Altocumulus::new(cfg(WorkerPlane::EventDriven, mean)).run_detailed(&trace);
+            black_box(r.system.completions.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_dense_fixed(c: &mut Criterion) {
+    bench_regime(
+        c,
+        "dense_fixed",
+        ServiceDistribution::Fixed(SimDuration::from_ns(850)),
+        0.8,
+    );
+}
+
+fn bench_heavy_tailed(c: &mut Criterion) {
+    bench_regime(
+        c,
+        "heavy_tailed",
+        ServiceDistribution::Bimodal {
+            short: SimDuration::from_ns(500),
+            long: SimDuration::from_us(20),
+            p_long: 0.01,
+        },
+        0.6,
+    );
+}
+
+criterion_group!(benches, bench_dense_fixed, bench_heavy_tailed);
+criterion_main!(benches);

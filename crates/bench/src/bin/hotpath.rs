@@ -7,7 +7,7 @@
 //! minimum is the closest observable to the true cost of the code.
 
 use altocumulus::telemetry::phase_table;
-use altocumulus::{AcConfig, Altocumulus, ControlPlane};
+use altocumulus::{AcConfig, Altocumulus, ControlPlane, WorkerPlane};
 use bench::{capture_telemetry, export_trace, trace_out_arg};
 use schedulers::common::RpcSystem;
 use schedulers::jbsq::{Jbsq, JbsqVariant};
@@ -54,9 +54,13 @@ fn measure(cfg: &AcConfig, t: &workload::Trace) -> Measured {
 
 /// Measure the quiet-window parallel engine at an explicit thread count,
 /// asserting that its invariant outputs (event count, peak serial-queue
-/// occupancy) are byte-identical to the serial baseline — the bench doubles
-/// as a determinism gate on every refresh.
-fn measure_par(cfg: &AcConfig, t: &workload::Trace, threads: usize, serial: &Measured) -> Measured {
+/// occupancy) are byte-identical to the per-event-worker-plane serial
+/// oracle — the bench doubles as a determinism gate on every refresh. The
+/// parallel engine always runs `WorkerPlane::EventDriven` internally (the
+/// quiet-window protocol owns the queue), so its event count matches the
+/// oracle, not the elided serial row; the virtual-ledger peak is identical
+/// across all three engines.
+fn measure_par(cfg: &AcConfig, t: &workload::Trace, threads: usize, oracle: &Measured) -> Measured {
     let mut best = Measured {
         wall_ms: f64::MAX,
         events: 0,
@@ -72,12 +76,18 @@ fn measure_par(cfg: &AcConfig, t: &workload::Trace, threads: usize, serial: &Mea
         best.events = r.summary.events;
         best.peak_queue = r.summary.peak_queue;
     }
-    assert_eq!(best.events, serial.events, "parallel engine diverged");
+    assert_eq!(best.events, oracle.events, "parallel engine diverged");
     assert_eq!(
-        best.peak_queue, serial.peak_queue,
+        best.peak_queue, oracle.peak_queue,
         "parallel engine diverged"
     );
     best
+}
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn emit(label: &str, m: &Measured, trailing_comma: bool) {
@@ -86,7 +96,11 @@ fn emit(label: &str, m: &Measured, trailing_comma: bool) {
     println!("    \"wall_ms\": {:.2},", m.wall_ms);
     println!("    \"events\": {},", m.events);
     println!("    \"events_per_sec\": {eps:.0},");
-    println!("    \"peak_event_queue\": {}", m.peak_queue);
+    println!("    \"peak_event_queue\": {},", m.peak_queue);
+    // Recorded per row (not just globally) so drift checks can tell
+    // whether a PAR_THREADS row was measured with real parallelism or is
+    // just engine overhead on a single hardware thread.
+    println!("    \"hw_threads\": {}", hw_threads());
     println!("  }}{}", if trailing_comma { "," } else { "" });
 }
 
@@ -97,31 +111,49 @@ fn main() {
     let t64 = trace(64, 20_000, 0.8);
     let small = measure(&AcConfig::ac_int(4, 16, mean), &t64);
 
-    // Case 2: the paper-scale 256-core mesh (16 groups x 16), where the
-    // manager plane dominates the event budget: every period each of the
-    // 16 managers broadcasts UPDATEs to 15 peers. Measured under both
-    // control planes so the elision win is recorded head-to-head.
+    // Case 2: the paper-scale 256-core mesh (16 groups x 16). Measured in
+    // three engine configurations so both elision wins stay recorded
+    // head-to-head: fully elided (default: analytic worker timelines +
+    // manager mailboxes), worker plane event-driven (isolates the
+    // worker-elision win), and fully event-driven (the pre-elision
+    // baseline: one event per UPDATE, tick, delivery and completion).
     let t256 = trace(256, 40_000, 0.6);
     let big_cfg = AcConfig::ac_int(16, 16, mean);
     let big_elided = measure(&big_cfg, &t256);
-    let mut legacy_cfg = big_cfg.clone();
+    let mut wp_oracle_cfg = big_cfg.clone();
+    wp_oracle_cfg.worker_plane = WorkerPlane::EventDriven;
+    let big_wp_oracle = measure(&wp_oracle_cfg, &t256);
+    let mut legacy_cfg = wp_oracle_cfg.clone();
     legacy_cfg.control_plane = ControlPlane::EventDriven;
     let big_legacy = measure(&legacy_cfg, &t256);
+    // The virtual-ledger peak is an engine invariant: elided and per-event
+    // worker planes must report the identical value.
+    assert_eq!(
+        big_elided.peak_queue, big_wp_oracle.peak_queue,
+        "worker-plane elision perturbed the virtual peak ledger"
+    );
 
     // Parallel-engine rows: the same 16x16 case through the quiet-window
     // engine at 2/4/8 worker threads, plus a 1024-core (32x32 mesh, 64
-    // groups x 16) case at both engines. Each parallel row asserts
-    // byte-identical invariants against its serial baseline.
+    // groups x 16) case. Each parallel row asserts byte-identical
+    // invariants against the per-event-worker-plane serial oracle.
     let par16: Vec<(usize, Measured)> = [2usize, 4, 8]
         .iter()
-        .map(|&n| (n, measure_par(&big_cfg, &t256, n, &big_elided)))
+        .map(|&n| (n, measure_par(&big_cfg, &t256, n, &big_wp_oracle)))
         .collect();
     let t1024 = trace(1024, 60_000, 0.6);
     let huge_cfg = AcConfig::ac_int(64, 16, mean);
     let huge = measure(&huge_cfg, &t1024);
+    let mut huge_oracle_cfg = huge_cfg.clone();
+    huge_oracle_cfg.worker_plane = WorkerPlane::EventDriven;
+    let huge_wp_oracle = measure(&huge_oracle_cfg, &t1024);
+    assert_eq!(
+        huge.peak_queue, huge_wp_oracle.peak_queue,
+        "worker-plane elision perturbed the virtual peak ledger"
+    );
     let par32: Vec<(usize, Measured)> = [2usize, 4, 8]
         .iter()
-        .map(|&n| (n, measure_par(&huge_cfg, &t1024, n, &huge)))
+        .map(|&n| (n, measure_par(&huge_cfg, &t1024, n, &huge_wp_oracle)))
         .collect();
 
     // Nebula baseline: wall time only (RpcSystem::run has no summary).
@@ -135,7 +167,9 @@ fn main() {
         nb_best_ms = nb_best_ms.min(ms);
     }
 
-    let event_cut = 100.0 * (1.0 - big_elided.events as f64 / big_legacy.events as f64);
+    let mgr_cut = 100.0 * (1.0 - big_wp_oracle.events as f64 / big_legacy.events as f64);
+    let wp_cut = 100.0 * (1.0 - big_elided.events as f64 / big_wp_oracle.events as f64);
+    let total_cut = 100.0 * (1.0 - big_elided.events as f64 / big_legacy.events as f64);
 
     // Hand-rolled JSON (no serde in the workspace). The "prior" block holds
     // the pre-change numbers measured on the same machine for this trace:
@@ -148,10 +182,7 @@ fn main() {
     println!("  \"config_256\": \"40k requests, 256 cores (16x16), load 0.6, fixed 850ns, 16 conns, seed 1\",");
     println!("  \"config_1024\": \"60k requests, 1024 cores (32x32 mesh, 64 groups x 16), load 0.6, fixed 850ns, 16 conns, seed 1\",");
     println!("  \"iters_best_of\": {ITERS},");
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("  \"hw_threads\": {hw},");
+    println!("  \"hw_threads\": {},", hw_threads());
     println!("  \"par_note\": \"PAR_THREADS rows use the quiet-window parallel engine; invariants asserted byte-identical to serial. With hw_threads=1 these rows measure engine overhead, not speedup.\",");
     emit("altocumulus_int_4x16", &small, true);
     emit("altocumulus_int_16x16_elided", &big_elided, true);
@@ -162,8 +193,20 @@ fn main() {
     for (n, m) in &par32 {
         emit(&format!("altocumulus_int_32x32_elided_par{n}"), m, true);
     }
+    emit(
+        "altocumulus_int_16x16_wp_event_driven",
+        &big_wp_oracle,
+        true,
+    );
+    emit(
+        "altocumulus_int_32x32_wp_event_driven",
+        &huge_wp_oracle,
+        true,
+    );
     emit("altocumulus_int_16x16_event_driven", &big_legacy, true);
-    println!("  \"manager_plane_event_cut_pct\": {event_cut:.1},");
+    println!("  \"manager_plane_event_cut_pct\": {mgr_cut:.1},");
+    println!("  \"worker_plane_event_cut_pct\": {wp_cut:.1},");
+    println!("  \"total_event_cut_pct\": {total_cut:.1},");
     println!("  \"nebula_jbsq\": {{ \"wall_ms\": {nb_best_ms:.2} }},");
     println!("  \"prior\": {{");
     println!(

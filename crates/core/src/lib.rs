@@ -60,7 +60,7 @@ pub mod tenancy;
 pub use accounting::{
     classify_effectiveness, prediction_accuracy, EffectivenessBreakdown, PredictedSet,
 };
-pub use config::{AcConfig, Attachment, ControlPlane};
+pub use config::{AcConfig, Attachment, ControlPlane, WorkerPlane};
 pub use hw::interface::Interface;
 pub use runtime::predictor::ThresholdPolicy;
 pub use system::{AcResult, Altocumulus, MigrationStats};

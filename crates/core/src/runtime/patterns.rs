@@ -90,12 +90,17 @@ pub struct MigrationOrder {
     pub count: usize,
 }
 
-/// Reusable planner scratch space: the rank vector and the sorted snapshot
-/// used by [`classify`]. One instance per manager lets every tick plan with
-/// zero allocations once the buffers reach steady capacity.
+/// Reusable planner scratch space: the bounded rank buffers (the
+/// `concurrency+1` smallest and `concurrency` largest `(len, index)` keys —
+/// all any trigger ever reads) plus the sorted snapshot used by the
+/// debug-mode [`classify`] cross-check. One instance per manager lets every
+/// tick plan with zero allocations once the buffers reach steady capacity.
 #[derive(Debug, Clone, Default)]
 pub struct PlanScratch {
-    by_len: Vec<usize>,
+    /// k-smallest `(len, index)` keys, ascending.
+    small: Vec<(u32, u32)>,
+    /// k-largest `(len, index)` keys, descending.
+    large: Vec<(u32, u32)>,
     sorted: Vec<u32>,
 }
 
@@ -197,40 +202,101 @@ fn plan_with_patterns(
     }
     let s = (bulk / concurrency).max(1);
     let my_len = q[me] as usize;
+    let n = q.len();
 
-    // Rank managers by queue length (stable by index for determinism).
-    let by_len = &mut scratch.by_len;
-    by_len.clear();
-    by_len.extend(0..q.len());
-    // The key (len, index) is a total order, so unstable sort (which never
-    // allocates) produces the same deterministic ranking as a stable one.
-    by_len.sort_unstable_by_key(|&i| (q[i], i));
-    let shortest = by_len[0];
-    let longest = *by_len.last().expect("non-empty q");
+    // Every trigger reads only the extremes of the `(len, index)` ranking:
+    // the `concurrency` least-loaded *other* managers (threshold spray and
+    // Hill fan-out), the `concurrency.min(n/2)` top/bottom ranks (Pairing),
+    // and min/min2/max/max2 (classification). A full O(n log n) sort per
+    // manager per period dominated large-mesh runs, so rank only the two
+    // bounded ends: one pass with capped insertion buffers. `(len, index)`
+    // is a total order, so the k-end contents and order are exactly those
+    // of the full sort.
+    let k_small = (concurrency + 1).max(2).min(n);
+    let k_large = concurrency.max(2).min(n);
+    let small = &mut scratch.small;
+    let large = &mut scratch.large;
+    small.clear();
+    large.clear();
+    for (i, &len) in q.iter().enumerate() {
+        let key = (len, i as u32);
+        if small.len() < k_small || key < *small.last().expect("non-empty") {
+            let pos = small.partition_point(|&e| e < key);
+            if small.len() == k_small {
+                small.pop();
+            }
+            small.insert(pos, key);
+        }
+        if large.len() < k_large || key > *large.last().expect("non-empty") {
+            let pos = large.partition_point(|&e| e > key);
+            if large.len() == k_large {
+                large.pop();
+            }
+            large.insert(pos, key);
+        }
+    }
+    let shortest = small[0].1 as usize;
+    let longest = large[0].1 as usize;
 
     // Threshold trigger: queue beyond T is predicted to violate; spray the
     // excess over the `concurrency` least-loaded other managers.
     if my_len > threshold {
         let mut excess = my_len - threshold;
-        for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
+        for &(_, dst) in small
+            .iter()
+            .filter(|&&(_, i)| i as usize != me)
+            .take(concurrency)
+        {
             if excess == 0 {
                 break;
             }
             let count = s.min(excess);
-            orders.push(MigrationOrder { dst, count });
+            orders.push(MigrationOrder {
+                dst: dst as usize,
+                count,
+            });
             excess -= count;
         }
     }
 
-    // Pattern trigger.
-    match if use_patterns {
-        classify_with(q, bulk, &mut scratch.sorted)
+    // Pattern trigger. The classification reads the two smallest and two
+    // largest queue *values*, which the bounded buffers already hold.
+    let pattern = if use_patterns {
+        let bulk32 = bulk as u32;
+        let (min, min2) = (small[0].0, small[1].0);
+        let (max, max2) = (large[0].0, large[1].0);
+        if max - min < bulk32 {
+            None // balanced enough
+        } else if max - max2 >= bulk32 {
+            Some(Pattern::Hill)
+        } else if min2 - min >= bulk32 {
+            Some(Pattern::Valley)
+        } else {
+            Some(Pattern::Pairing)
+        }
     } else {
         None
-    } {
+    };
+    debug_assert_eq!(
+        pattern,
+        if use_patterns {
+            classify_with(q, bulk, &mut scratch.sorted)
+        } else {
+            None
+        },
+        "bounded-extreme classification diverged from the sorted oracle"
+    );
+    match pattern {
         Some(Pattern::Hill) if me == longest => {
-            for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
-                orders.push(MigrationOrder { dst, count: s });
+            for &(_, dst) in small
+                .iter()
+                .filter(|&&(_, i)| i as usize != me)
+                .take(concurrency)
+            {
+                orders.push(MigrationOrder {
+                    dst: dst as usize,
+                    count: s,
+                });
             }
         }
         Some(Pattern::Valley) if me != shortest => {
@@ -242,13 +308,12 @@ fn plan_with_patterns(
         Some(Pattern::Pairing) => {
             // The r-th longest sends to the r-th shortest, r = 0.. up to
             // concurrency pairs and only while the sender is actually longer.
-            let n = q.len();
             for r in 0..concurrency.min(n / 2) {
-                let sender = by_len[n - 1 - r];
-                let receiver = by_len[r];
-                if sender == me && receiver != me && q[sender] > q[receiver] {
+                let (sender_len, sender) = large[r];
+                let (receiver_len, receiver) = small[r];
+                if sender as usize == me && receiver as usize != me && sender_len > receiver_len {
                     orders.push(MigrationOrder {
-                        dst: receiver,
+                        dst: receiver as usize,
                         count: s,
                     });
                 }
@@ -282,6 +347,112 @@ pub fn guard_allows(q_src: u32, q_dst: u32, s: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-optimization planner: full `(len, index)` sort, reference
+    /// for the bounded-extreme selection in `plan_with_patterns`.
+    fn plan_with_full_sort(
+        me: usize,
+        q: &[u32],
+        threshold: usize,
+        bulk: usize,
+        concurrency: usize,
+        use_patterns: bool,
+    ) -> Vec<MigrationOrder> {
+        let mut orders = Vec::new();
+        if q.len() < 2 {
+            return orders;
+        }
+        let s = (bulk / concurrency).max(1);
+        let my_len = q[me] as usize;
+        let mut by_len: Vec<usize> = (0..q.len()).collect();
+        by_len.sort_unstable_by_key(|&i| (q[i], i));
+        let shortest = by_len[0];
+        let longest = *by_len.last().unwrap();
+        if my_len > threshold {
+            let mut excess = my_len - threshold;
+            for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
+                if excess == 0 {
+                    break;
+                }
+                let count = s.min(excess);
+                orders.push(MigrationOrder { dst, count });
+                excess -= count;
+            }
+        }
+        match if use_patterns {
+            classify(q, bulk)
+        } else {
+            None
+        } {
+            Some(Pattern::Hill) if me == longest => {
+                for &dst in by_len.iter().filter(|&&i| i != me).take(concurrency) {
+                    orders.push(MigrationOrder { dst, count: s });
+                }
+            }
+            Some(Pattern::Valley) if me != shortest => {
+                orders.push(MigrationOrder {
+                    dst: shortest,
+                    count: s,
+                });
+            }
+            Some(Pattern::Pairing) => {
+                let n = q.len();
+                for r in 0..concurrency.min(n / 2) {
+                    let sender = by_len[n - 1 - r];
+                    let receiver = by_len[r];
+                    if sender == me && receiver != me && q[sender] > q[receiver] {
+                        orders.push(MigrationOrder {
+                            dst: receiver,
+                            count: s,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        orders.sort_unstable_by_key(|o| o.dst);
+        orders.dedup_by(|a, b| {
+            if a.dst == b.dst {
+                b.count = b.count.max(a.count);
+                true
+            } else {
+                false
+            }
+        });
+        orders
+    }
+
+    proptest::proptest! {
+        /// The bounded-extreme planner is order-for-order identical to the
+        /// full-sort reference over random queue vectors, both triggers,
+        /// with tie-heavy value ranges.
+        #[test]
+        fn bounded_selection_matches_full_sort(
+            q in proptest::collection::vec(0u32..6, 2..80),
+            me_raw in 0usize..80,
+            threshold in 0usize..8,
+            bulk in 1usize..40,
+            concurrency_raw in 1usize..12,
+            use_patterns in proptest::prelude::any::<bool>(),
+        ) {
+            let me = me_raw % q.len();
+            let concurrency = concurrency_raw.min(bulk);
+            let reference =
+                plan_with_full_sort(me, &q, threshold, bulk, concurrency, use_patterns);
+            let mut got = Vec::new();
+            plan_with_patterns(
+                me,
+                &q,
+                threshold,
+                bulk,
+                concurrency,
+                use_patterns,
+                &mut PlanScratch::default(),
+                &mut got,
+            );
+            proptest::prop_assert_eq!(got, reference);
+        }
+    }
 
     #[test]
     fn paper_walkthrough_example() {

@@ -8,7 +8,7 @@
 //! with every baseline on identical traces.
 
 use crate::accounting::PredictedSet;
-use crate::config::{AcConfig, Attachment, ControlPlane};
+use crate::config::{AcConfig, Attachment, ControlPlane, WorkerPlane};
 use crate::hw::messages::{Descriptor, Message};
 use crate::runtime::patterns::{
     guard_allows, plan_migrations_into, plan_threshold_only_into, MigrationOrder, PlanScratch,
@@ -26,11 +26,13 @@ use simcore::parengine::{par_threads, Partitioning};
 use simcore::rng::{stream_rng, streams};
 use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
+use simcore::timeline::worker_plane;
 use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
 
 mod par;
+mod wp;
 
 /// Counters describing the migration machinery's behaviour during a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -340,6 +342,7 @@ impl Altocumulus {
             RunMode::Serial => GroupStore::serial(groups),
             RunMode::Parallel(p) => GroupStore::partitioned(groups, p),
         };
+        let noc = MeshNoc::new_square(cfg.total_cores() as u32);
         let topo = (0..cfg.groups)
             .map(|g| {
                 let peers: Vec<usize> = match &cfg.tenancy {
@@ -350,10 +353,31 @@ impl Altocumulus {
                     .iter()
                     .position(|&j| j == g)
                     .expect("a group is always its own peer");
+                let src_tile = g * cfg.group_size;
+                // UPDATE delivery offsets are pure topology: header-sized
+                // wire latency plus the injection-port stagger of the
+                // broadcast slot. Folding them here keeps the per-tick
+                // broadcast loop to one add per peer.
+                let upd_bytes = Message::Update {
+                    src: g,
+                    queue_len: 0,
+                }
+                .wire_bytes();
+                let update_offsets = peers
+                    .iter()
+                    .copied()
+                    .filter(|&j| j != g)
+                    .enumerate()
+                    .map(|(i, dst)| {
+                        let lat = noc.latency(src_tile, dst * cfg.group_size, upd_bytes);
+                        (dst as u32, lat + injection_stagger(i))
+                    })
+                    .collect();
                 GroupTopo {
                     peers,
                     me_local,
-                    tile: g * cfg.group_size,
+                    tile: src_tile,
+                    update_offsets,
                 }
             })
             .collect();
@@ -361,7 +385,7 @@ impl Altocumulus {
         let mut world = AcWorld {
             trace,
             cfg,
-            noc: MeshNoc::new_square(cfg.total_cores() as u32),
+            noc,
             dispatch_op: mem.remote_cache, // 70 cycles per manager dispatch op
             intra_transfer: match cfg.attachment {
                 Attachment::Integrated => Transfer::coherent(),
@@ -406,9 +430,25 @@ impl Altocumulus {
                 queue.push(f.at, Ev::Fault(FaultEv::ManagerFail(f.group)));
             }
         }
-        let summary = match &mode {
-            RunMode::Serial => run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX),
-            RunMode::Parallel(p) => par::run_windows(&mut world, &mut queue, &mut source, p),
+        // Worker-plane resolution: the batched (elided) engine requires a
+        // healthy serial run. An active fault plan (epoch bumps, straggler
+        // inflation, resteers landing mid-batch) or the parallel engine
+        // (whose quiet-window protocol owns the queue) downgrade wholesale
+        // to the per-event oracle, mirroring how fault plans downgrade the
+        // parallel engine itself.
+        let wplane = match &mode {
+            RunMode::Parallel(_) => WorkerPlane::EventDriven,
+            RunMode::Serial if !cfg.faults.is_empty() => WorkerPlane::EventDriven,
+            RunMode::Serial => worker_plane(cfg.worker_plane),
+        };
+        let summary = match (&mode, wplane) {
+            (RunMode::Serial, WorkerPlane::Elided) => {
+                wp::run_elided(&mut world, &mut queue, &mut source)
+            }
+            (RunMode::Serial, WorkerPlane::EventDriven) => {
+                run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX)
+            }
+            (RunMode::Parallel(p), _) => par::run_windows(&mut world, &mut queue, &mut source, p),
         };
         world.finalize_idle_accounting(summary.end_time);
         let fault_stats = world.faults.as_ref().map(|f| f.stats).unwrap_or_default();
@@ -650,6 +690,10 @@ struct GroupTopo {
     me_local: usize,
     /// Mesh tile of the group's manager core.
     tile: usize,
+    /// UPDATE broadcast schedule: `(dst, wire latency + port stagger)` per
+    /// peer slot, in send order. Latency for a header-sized message is a
+    /// pure function of the mesh, so the per-tick loop just adds.
+    update_offsets: Vec<(u32, SimDuration)>,
 }
 
 /// Reusable buffers for [`AcWorld::runtime_tick`]. Ticks run one at a time,
@@ -1570,22 +1614,18 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         // partition of groups; otherwise every manager is a peer. The peer
         // list and tile ids are precomputed in `topo`.
         let peers = &self.topo[g].peers;
+        let src_tile = self.topo[g].tile;
 
         // 5. Broadcast UPDATE to every other (peer) manager. The elided
         //    path parks the record in the destination's mailbox under the
         //    seq the legacy event would occupy; same physics, zero events.
-        let src_tile = self.topo[g].tile;
         let elided = self.cfg.control_plane == ControlPlane::Elided;
-        for (i, dst) in peers.iter().copied().filter(|&j| j != g).enumerate() {
-            let msg = Message::Update {
-                src: g,
-                queue_len: own_len,
-            };
-            let lat = self
-                .noc
-                .latency(src_tile, self.topo[dst].tile, msg.wire_bytes());
-            // Consecutive injections serialize at the port (~3ns each).
-            let mut deliver_at = send_time + lat + injection_stagger(i);
+        for idx in 0..self.topo[g].update_offsets.len() {
+            // Wire latency + port stagger were folded per slot at
+            // construction (`GroupTopo::update_offsets`).
+            let (dst, offset) = self.topo[g].update_offsets[idx];
+            let dst = dst as usize;
+            let mut deliver_at = send_time + offset;
             // UPDATEs ride the lossy gossip channel of the faulty NoC. The
             // draw happens here for both control planes so the decision
             // sequence is a function of send order alone.
@@ -1620,7 +1660,15 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     queue_len: own_len,
                 });
             } else {
-                push_msg(q, deliver_at, dst, msg);
+                push_msg(
+                    q,
+                    deliver_at,
+                    dst,
+                    Message::Update {
+                        src: g,
+                        queue_len: own_len,
+                    },
+                );
             }
             self.stats.update_messages += 1;
         }
@@ -1847,6 +1895,8 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         }
     }
 
+    /// Applies a protocol message's effects and dispatches any NetRX work
+    /// it unblocked.
     fn handle_msg(
         &mut self,
         dst: usize,
@@ -1855,12 +1905,31 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         now: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        if let Some(g) = self.handle_msg_inner(dst, seq, msg, now, q) {
+            self.try_dispatch(g, now, q);
+        }
+    }
+
+    /// [`handle_msg`](Self::handle_msg) minus the trailing dispatch: returns
+    /// the group whose NetRX gained work (MIGRATE landings, NACK returns) so
+    /// the caller can route the dispatch through its own [`QuietSink`] — the
+    /// serial oracle pushes `Deliver`s onto the event queue, the elided
+    /// worker plane onto its analytic timeline. The seq reservation order is
+    /// unchanged: the dispatch always ran last in the original body.
+    fn handle_msg_inner(
+        &mut self,
+        dst: usize,
+        seq: u64,
+        msg: Message,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) -> Option<usize> {
         // A dead manager tile receives nothing: the message is lost at the
         // wire. Senders recover via the staged-migration timeout (MIGRATE)
         // or never notice (UPDATE/ACK — an ACK to a dead source is moot,
         // the source's queues were already drained by takeover).
         if self.mgr_is_dead(dst) {
-            return;
+            return None;
         }
         match msg {
             Message::Update { src, queue_len } => {
@@ -1868,6 +1937,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 // events, and dormancy exists only in Elided mode.
                 debug_assert!(!self.groups[dst].dormant, "update at a dormant group");
                 self.groups[dst].q_view[src] = queue_len;
+                None
             }
             Message::Migrate {
                 src,
@@ -1885,7 +1955,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 if token != 0 {
                     if let Some(fs) = &self.faults {
                         if fs.pending[token as usize - 1].state == PendingState::TimedOut {
-                            return;
+                            return None;
                         }
                     }
                 }
@@ -1904,7 +1974,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     };
                     let lat = self.noc.latency(dst_tile, src_tile, nack.wire_bytes());
                     self.send_msg(q, now + lat, src, nack);
-                    return;
+                    return None;
                 }
                 // The exchange is now settled at the destination: the
                 // descriptors land here no matter what happens to the ACK,
@@ -1938,7 +2008,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 };
                 let lat = self.noc.latency(dst_tile, src_tile, ack.wire_bytes());
                 self.send_msg(q, now + lat, src, ack);
-                self.try_dispatch(dst, now, q);
+                Some(dst)
             }
             Message::Ack { token, .. } => {
                 // The sender keeps send_inflight > 0 until this arrives, so
@@ -1950,13 +2020,14 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                         if p.state == PendingState::TimedOut {
                             // Timeout already reclaimed the FIFO slot and
                             // resteered; this stale ACK must change nothing.
-                            return;
+                            return None;
                         }
                         p.state = PendingState::Resolved;
                         p.descriptors.clear();
                     }
                 }
                 self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
+                None
             }
             Message::Nack {
                 src: nack_src,
@@ -1968,7 +2039,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     if let Some(fs) = &mut self.faults {
                         let p = &mut fs.pending[token as usize - 1];
                         if p.state == PendingState::TimedOut {
-                            return;
+                            return None;
                         }
                         p.state = PendingState::Resolved;
                         p.descriptors.clear();
@@ -1990,7 +2061,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     let qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
                     self.groups[dst].netrx.push_back(qr);
                 }
-                self.try_dispatch(dst, now, q);
+                Some(dst)
             }
         }
     }
@@ -2441,7 +2512,8 @@ mod tests {
     #[test]
     fn streaming_keeps_event_queue_small() {
         // Tentpole acceptance: peak event-queue population is O(in-flight),
-        // not O(trace).
+        // not O(trace) — the peak is a *virtual-ledger* value, identical
+        // across both worker planes.
         let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
         let t = trace(dist, 0.6, 64, 20_000, 256);
         let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean()));
@@ -2453,7 +2525,21 @@ mod tests {
             r.summary.peak_queue,
             t.len()
         );
-        assert!(r.summary.events > 40_000, "events: {}", r.summary.events);
+        // The default (elided) worker plane keeps arrivals and the manager
+        // plane as main-loop events but batches the rest; the per-event
+        // oracle pays a Deliver and a WorkerDone per request on top.
+        assert!(r.summary.events > 20_000, "events: {}", r.summary.events);
+        let mut ev_cfg = AcConfig::ac_int(4, 16, dist.mean());
+        ev_cfg.worker_plane = WorkerPlane::EventDriven;
+        let ev = Altocumulus::new(ev_cfg).run_detailed(&t);
+        assert!(ev.summary.events > 40_000, "events: {}", ev.summary.events);
+        assert!(
+            r.summary.events + 40_000 <= ev.summary.events,
+            "worker elision should remove two events per request: {} vs {}",
+            r.summary.events,
+            ev.summary.events
+        );
+        assert_eq!(r.summary.peak_queue, ev.summary.peak_queue);
     }
 
     #[test]
@@ -2506,6 +2592,33 @@ mod tests {
         assert!(
             el.summary.events * 2 < ev.summary.events,
             "idle elision should remove most events: {} vs {}",
+            el.summary.events,
+            ev.summary.events
+        );
+    }
+
+    #[test]
+    fn worker_plane_matches_event_driven_oracle() {
+        // Moderate load with migrations in play: the analytic timelines
+        // carry the whole request lifecycle and must be indistinguishable
+        // from the per-event oracle in every observable — including the
+        // virtual-ledger peak — while processing strictly fewer events.
+        let dist = ServiceDistribution::Fixed(SimDuration::from_ns(850));
+        let t = trace(dist, 0.6, 64, 8_000, 5);
+        let el = Altocumulus::new(AcConfig::ac_int(4, 16, dist.mean())).run_detailed(&t);
+        let mut cfg = AcConfig::ac_int(4, 16, dist.mean());
+        cfg.worker_plane = WorkerPlane::EventDriven;
+        let ev = Altocumulus::new(cfg).run_detailed(&t);
+        assert_eq!(el.system.completions, ev.system.completions);
+        assert_eq!(el.system.end_time, ev.system.end_time);
+        assert_eq!(el.stats, ev.stats);
+        assert!(el.stats.migrated_requests > 0, "load should migrate");
+        assert_eq!(el.summary.peak_queue, ev.summary.peak_queue);
+        assert_eq!(el.summary.end_time, ev.summary.end_time);
+        assert_eq!(el.summary.stopped_early, ev.summary.stopped_early);
+        assert!(
+            el.summary.events < ev.summary.events,
+            "worker elision should cut events: {} vs {}",
             el.summary.events,
             ev.summary.events
         );

@@ -15,7 +15,12 @@
 //! arrivals (the fast-forward accounting and per-instant tick-seq block
 //! reservation must not allocate either).
 //!
-//! A third and fourth regime pin the telemetry layer: disabled telemetry
+//! A batched-worker-plane regime pins the `WorkerPlane::Elided` engine
+//! under heavy-tailed backlog (multi-entry timeline lanes, stale-key
+//! churn): steady-state batching must stay allocation-free, with
+//! re-planning confined to capacity retained from construction.
+//!
+//! A further pair of regimes pin the telemetry layer: disabled telemetry
 //! (the default [`Altocumulus::run_detailed`] path) must stay at the same
 //! zero steady-state budget — the sink is monomorphized away — and enabled
 //! telemetry may add only the recorder's own amortized ring growth (span
@@ -26,7 +31,7 @@
 //! lazily mid-test (its channel-receive context), polluting the deltas — a
 //! plain `fn main` keeps the process single-threaded.
 
-use altocumulus::{AcConfig, Altocumulus, Telemetry};
+use altocumulus::{AcConfig, Altocumulus, Telemetry, WorkerPlane};
 use simcore::alloc::CountingAlloc;
 use simcore::time::SimDuration;
 use workload::arrival::PoissonProcess;
@@ -53,6 +58,38 @@ fn run(trace: &Trace) -> (u64, u64) {
     let r = ac.run_detailed(trace);
     assert_eq!(r.system.completions.len(), trace.len());
     (ALLOC.allocations() - before, r.summary.events)
+}
+
+/// Bimodal service at a deeper `local_bound`: worker lanes hold real
+/// backlog, so the batched worker plane's timeline exercises multi-entry
+/// lane inserts, head-key supersession and merge pops — all of which must
+/// run out of the capacity pre-sized at construction. `worker_plane` is
+/// pinned explicitly so an environment override can't silently swap the
+/// engine under the budget.
+fn run_elided_backlog(trace: &Trace) -> (u64, u64) {
+    let mean = SimDuration::from_ns(850);
+    let mut cfg = AcConfig::ac_int(4, 16, mean);
+    cfg.worker_plane = WorkerPlane::Elided;
+    cfg.local_bound = 2;
+    let mut ac = Altocumulus::new(cfg);
+    let before = ALLOC.allocations();
+    let r = ac.run_detailed(trace);
+    assert_eq!(r.system.completions.len(), trace.len());
+    (ALLOC.allocations() - before, r.summary.events)
+}
+
+fn bimodal_trace(n: usize, load: f64) -> Trace {
+    let dist = ServiceDistribution::Bimodal {
+        short: SimDuration::from_ns(500),
+        long: SimDuration::from_us(20),
+        p_long: 0.01,
+    };
+    let rate = PoissonProcess::rate_for_load(load, 64, dist.mean());
+    TraceBuilder::new(PoissonProcess::new(rate), dist)
+        .requests(n)
+        .connections(256)
+        .seed(1)
+        .build()
 }
 
 /// Like [`run`], but with a recording [`Telemetry`] sink attached. The
@@ -107,6 +144,19 @@ fn main() {
     assert_pinned("mailbox", &trace(20_000, 0.6), &trace(60_000, 0.6));
     // Near-idle load: dormancy, wake and idle-tick fast-forward dominate.
     assert_pinned("dormancy", &trace(5_000, 0.05), &trace(15_000, 0.05));
+    // Batched worker plane under backlog: heavy-tailed service with
+    // local_bound = 2 keeps multiple descriptors pending per lane, so
+    // steady-state timeline traffic (lane inserts, stale-key churn, merge
+    // pops, per-event seq reservation) must stay allocation-free. The
+    // elided engine's events count is main-loop events only, which makes
+    // this delta-per-event pin *stricter* than the oracle's, not looser.
+    assert_pinned_by(
+        "batched-worker-plane",
+        &bimodal_trace(20_000, 0.6),
+        &bimodal_trace(60_000, 0.6),
+        0.01,
+        run_elided_backlog,
+    );
     // Telemetry enabled: the recorder's span log doubles O(log n) times and
     // each rare MIGRATE still allocates its descriptor payload; everything
     // else must reuse capacity. The budget is deliberately a small multiple
