@@ -96,6 +96,12 @@ fn emit(label: &str, m: &Measured, trailing_comma: bool) {
     println!("    \"wall_ms\": {:.2},", m.wall_ms);
     println!("    \"events\": {},", m.events);
     println!("    \"events_per_sec\": {eps:.0},");
+    // Per-event cost in nanoseconds — the flatness metric: a size-independent
+    // hot path keeps this constant as the mesh grows.
+    println!(
+        "    \"ns_per_event\": {:.1},",
+        m.wall_ms * 1e6 / m.events as f64
+    );
     println!("    \"peak_event_queue\": {},", m.peak_queue);
     // Recorded per row (not just globally) so drift checks can tell
     // whether a PAR_THREADS row was measured with real parallelism or is

@@ -200,24 +200,143 @@ fn plan_with_patterns(
     if q.len() < 2 {
         return;
     }
-    let s = (bulk / concurrency).max(1);
     let my_len = q[me] as usize;
     let n = q.len();
 
-    // Every trigger reads only the extremes of the `(len, index)` ranking:
-    // the `concurrency` least-loaded *other* managers (threshold spray and
-    // Hill fan-out), the `concurrency.min(n/2)` top/bottom ranks (Pairing),
-    // and min/min2/max/max2 (classification). A full O(n log n) sort per
-    // manager per period dominated large-mesh runs, so rank only the two
-    // bounded ends: one pass with capped insertion buffers. `(len, index)`
-    // is a total order, so the k-end contents and order are exactly those
-    // of the full sort.
+    if my_len > threshold {
+        // Overloaded: the threshold spray reads the k-smallest ranking no
+        // matter how the mesh classifies, so build it in one pass that also
+        // tracks the two largest keys — all the classification and the
+        // Hill role need. On a congested mesh this is the common case, and
+        // it costs exactly one sweep.
+        let k_small = (concurrency + 1).max(2).min(n);
+        let small = &mut scratch.small;
+        small.clear();
+        let k0 = (q[0], 0u32);
+        let k1 = (q[1], 1u32);
+        let (lo, hi) = if k0 < k1 { (k0, k1) } else { (k1, k0) };
+        small.push(lo);
+        small.push(hi);
+        let (mut max1, mut max2) = (hi, lo);
+        for (i, &len) in q.iter().enumerate().skip(2) {
+            let key = (len, i as u32);
+            if small.len() < k_small || key < *small.last().expect("non-empty") {
+                let pos = small.partition_point(|&e| e < key);
+                if small.len() == k_small {
+                    small.pop();
+                }
+                small.insert(pos, key);
+            }
+            if key > max2 {
+                if key > max1 {
+                    max2 = max1;
+                    max1 = key;
+                } else {
+                    max2 = key;
+                }
+            }
+        }
+        let minima = [small[0], small[1]];
+        let pattern = classification_of(use_patterns, bulk, &minima, &[max1, max2]);
+        let large = &mut scratch.large;
+        large.clear();
+        if matches!(pattern, Some(Pattern::Pairing)) {
+            rank_large_into(q, concurrency.max(2).min(n), large);
+        }
+        plan_from_extremes(
+            me,
+            my_len,
+            n,
+            threshold,
+            bulk,
+            concurrency,
+            pattern,
+            max1.1 as usize,
+            small,
+            large,
+            orders,
+        );
+        debug_assert_eq!(
+            pattern,
+            if use_patterns {
+                classify_with(q, bulk, &mut scratch.sorted)
+            } else {
+                None
+            },
+            "single-pass classification diverged from the sorted oracle"
+        );
+        return;
+    }
+
+    // Below threshold: one branch-cheap pass for the four extreme keys.
+    // They are enough to classify the pattern and to decide whether any
+    // trigger can involve `me` at all — which on a balanced mesh is the
+    // common "no" (the planner runs every period for every manager; most
+    // periods plan nothing). The deeper insertion-buffer ranking below then
+    // runs only on the periods that actually migrate.
+    let mut min1 = (q[0], 0u32);
+    let mut min2 = (q[1], 1u32);
+    if min2 < min1 {
+        core::mem::swap(&mut min1, &mut min2);
+    }
+    let (mut max1, mut max2) = (min2, min1);
+    for (i, &len) in q.iter().enumerate().skip(2) {
+        let key = (len, i as u32);
+        // Independent branches: with n == 3 the middle key is both the
+        // second-smallest and the second-largest.
+        if key < min2 {
+            if key < min1 {
+                min2 = min1;
+                min1 = key;
+            } else {
+                min2 = key;
+            }
+        }
+        if key > max2 {
+            if key > max1 {
+                max2 = max1;
+                max1 = key;
+            } else {
+                max2 = key;
+            }
+        }
+    }
+    let pattern = classification_of(use_patterns, bulk, &[min1, min2], &[max1, max2]);
+    // Hill fan-out (only the longest sends) reads k-smallest; Pairing
+    // senders are the top `concurrency.min(n/2)` ranks, and whether `me` is
+    // among them is unknown without ranking that deep.
+    let need_rank = (matches!(pattern, Some(Pattern::Hill)) && me == max1.1 as usize)
+        || matches!(pattern, Some(Pattern::Pairing));
+    if !need_rank {
+        // The only order a non-ranking period can produce is the Valley
+        // fan-in: everyone but the shortest sends it one batch.
+        if matches!(pattern, Some(Pattern::Valley)) && me != min1.1 as usize {
+            orders.push(MigrationOrder {
+                dst: min1.1 as usize,
+                count: (bulk / concurrency).max(1),
+            });
+        }
+        debug_assert_eq!(
+            pattern,
+            if use_patterns {
+                classify_with(q, bulk, &mut scratch.sorted)
+            } else {
+                None
+            },
+            "four-extreme classification diverged from the sorted oracle"
+        );
+        return;
+    }
+
+    // Rare ranking case below threshold: a Hill whose summit is `me`, or a
+    // Pairing mesh. Rank only the ends the triggers read: the k-smallest
+    // always (Hill fan-out targets, Pairing receivers), the k-largest for
+    // Pairing sender ranks. `(len, index)` is a total order, so the k-end
+    // contents and order are exactly those of the full sort a naive planner
+    // would take.
     let k_small = (concurrency + 1).max(2).min(n);
-    let k_large = concurrency.max(2).min(n);
     let small = &mut scratch.small;
-    let large = &mut scratch.large;
     small.clear();
-    large.clear();
     for (i, &len) in q.iter().enumerate() {
         let key = (len, i as u32);
         if small.len() < k_small || key < *small.last().expect("non-empty") {
@@ -227,16 +346,99 @@ fn plan_with_patterns(
             }
             small.insert(pos, key);
         }
-        if large.len() < k_large || key > *large.last().expect("non-empty") {
+    }
+    let large = &mut scratch.large;
+    large.clear();
+    if matches!(pattern, Some(Pattern::Pairing)) {
+        rank_large_into(q, concurrency.max(2).min(n), large);
+    }
+    plan_from_extremes(
+        me,
+        my_len,
+        n,
+        threshold,
+        bulk,
+        concurrency,
+        pattern,
+        max1.1 as usize,
+        small,
+        large,
+        orders,
+    );
+    debug_assert_eq!(
+        pattern,
+        if use_patterns {
+            classify_with(q, bulk, &mut scratch.sorted)
+        } else {
+            None
+        },
+        "four-extreme classification diverged from the sorted oracle"
+    );
+}
+
+/// One capped insertion pass ranking the `k` largest `(len, index)` keys of
+/// `q` into `large`, descending — the exact top-k contents and order of a
+/// full sort. Only Pairing reads deep top ranks, so this runs on Pairing
+/// periods alone.
+fn rank_large_into(q: &[u32], k: usize, large: &mut Vec<(u32, u32)>) {
+    for (i, &len) in q.iter().enumerate() {
+        let key = (len, i as u32);
+        if large.len() < k || key > *large.last().expect("non-empty") {
             let pos = large.partition_point(|&e| e > key);
-            if large.len() == k_large {
+            if large.len() == k {
                 large.pop();
             }
             large.insert(pos, key);
         }
     }
+}
+
+/// Reads the pattern classification off the bounded extreme buffers.
+fn classification_of(
+    use_patterns: bool,
+    bulk: usize,
+    small: &[(u32, u32)],
+    large: &[(u32, u32)],
+) -> Option<Pattern> {
+    if !use_patterns {
+        return None;
+    }
+    let bulk32 = bulk as u32;
+    let (min, min2) = (small[0].0, small[1].0);
+    let (max, max2) = (large[0].0, large[1].0);
+    if max - min < bulk32 {
+        None // balanced enough
+    } else if max - max2 >= bulk32 {
+        Some(Pattern::Hill)
+    } else if min2 - min >= bulk32 {
+        Some(Pattern::Valley)
+    } else {
+        Some(Pattern::Pairing)
+    }
+}
+
+/// Trigger logic shared by the scan-based and patched planners: everything
+/// after the `(len, index)` extreme ranking. `small` must hold the exact
+/// k-smallest contents and order of a full sort of the planning array;
+/// `large` the k-largest, but only when `pattern` is Pairing (the sole
+/// consumer of top ranks — `longest` carries the Hill role separately, so
+/// the other callers may pass an empty slice).
+#[allow(clippy::too_many_arguments)]
+fn plan_from_extremes(
+    me: usize,
+    my_len: usize,
+    n: usize,
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+    pattern: Option<Pattern>,
+    longest: usize,
+    small: &[(u32, u32)],
+    large: &[(u32, u32)],
+    orders: &mut Vec<MigrationOrder>,
+) {
+    let s = (bulk / concurrency).max(1);
     let shortest = small[0].1 as usize;
-    let longest = large[0].1 as usize;
 
     // Threshold trigger: queue beyond T is predicted to violate; spray the
     // excess over the `concurrency` least-loaded other managers.
@@ -259,33 +461,7 @@ fn plan_with_patterns(
         }
     }
 
-    // Pattern trigger. The classification reads the two smallest and two
-    // largest queue *values*, which the bounded buffers already hold.
-    let pattern = if use_patterns {
-        let bulk32 = bulk as u32;
-        let (min, min2) = (small[0].0, small[1].0);
-        let (max, max2) = (large[0].0, large[1].0);
-        if max - min < bulk32 {
-            None // balanced enough
-        } else if max - max2 >= bulk32 {
-            Some(Pattern::Hill)
-        } else if min2 - min >= bulk32 {
-            Some(Pattern::Valley)
-        } else {
-            Some(Pattern::Pairing)
-        }
-    } else {
-        None
-    };
-    debug_assert_eq!(
-        pattern,
-        if use_patterns {
-            classify_with(q, bulk, &mut scratch.sorted)
-        } else {
-            None
-        },
-        "bounded-extreme classification diverged from the sorted oracle"
-    );
+    // Pattern trigger, classified by the caller off the four extremes.
     match pattern {
         Some(Pattern::Hill) if me == longest => {
             for &(_, dst) in small
@@ -334,6 +510,130 @@ fn plan_with_patterns(
             false
         }
     });
+}
+
+/// Bounded `(len, index)` extremes of a *shared* queue-length array, ranked
+/// one place deeper than any planner trigger reads. Replacing a single
+/// entry of the array (a manager overlaying its live local length onto the
+/// shared PR view) can then be patched into exact per-manager extremes in
+/// O(concurrency) — [`plan_patched_into`] — instead of rescanning all `n`
+/// entries per manager per period.
+#[derive(Debug, Clone, Default)]
+pub struct SharedExtremes {
+    /// `k_small + 1` smallest keys, ascending.
+    small: Vec<(u32, u32)>,
+    /// `k_large + 1` largest keys, descending.
+    large: Vec<(u32, u32)>,
+}
+
+impl SharedExtremes {
+    /// Ranks `q`'s `(len, index)` keys into `self`, reusing the buffers.
+    ///
+    /// The extra rank beyond [`plan_with_patterns`]'s `k` covers deletion:
+    /// if the overlaid manager's old key sat in a buffer, the (k+1)-th key
+    /// is exactly the one that takes its place.
+    pub fn rank(&mut self, q: &[u32], concurrency: usize) {
+        let n = q.len();
+        let k_small = ((concurrency + 1).max(2) + 1).min(n);
+        let k_large = (concurrency.max(2) + 1).min(n);
+        self.small.clear();
+        self.large.clear();
+        for (i, &len) in q.iter().enumerate() {
+            let key = (len, i as u32);
+            if self.small.len() < k_small || key < *self.small.last().expect("non-empty") {
+                let pos = self.small.partition_point(|&e| e < key);
+                if self.small.len() == k_small {
+                    self.small.pop();
+                }
+                self.small.insert(pos, key);
+            }
+            if self.large.len() < k_large || key > *self.large.last().expect("non-empty") {
+                let pos = self.large.partition_point(|&e| e > key);
+                if self.large.len() == k_large {
+                    self.large.pop();
+                }
+                self.large.insert(pos, key);
+            }
+        }
+    }
+}
+
+/// Plans for `me` against a shared array of `n` lengths with `me`'s entry
+/// replaced by its live `my_len` — equivalent to [`plan_migrations_into`]
+/// (`use_patterns: true`) or [`plan_threshold_only_into`] (`false`) on the
+/// overlaid array, but O(concurrency) per call: `ext` must have been
+/// [`SharedExtremes::rank`]ed over the shared array this period, and
+/// `old_len` must be the value `me` held in it.
+///
+/// Exactness of the patch: any non-`me` element among the k smallest of the
+/// overlaid array has at most `k - 1` overlaid elements below it, hence at
+/// most `k` shared ones (the old `me` key may sit anywhere), so it is
+/// already in `ext`'s `k + 1`-deep buffer. Removing the old key and
+/// inserting the live one therefore yields a superset of the true k-end,
+/// and truncation restores the exact full-sort contents and order.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_patched_into(
+    me: usize,
+    my_len: u32,
+    n: usize,
+    old_len: u32,
+    ext: &SharedExtremes,
+    threshold: usize,
+    bulk: usize,
+    concurrency: usize,
+    use_patterns: bool,
+    scratch: &mut PlanScratch,
+    orders: &mut Vec<MigrationOrder>,
+) {
+    assert!(me < n, "manager index out of range");
+    assert!(bulk > 0 && concurrency > 0);
+    orders.clear();
+    if n < 2 {
+        return;
+    }
+    let k_small = (concurrency + 1).max(2).min(n);
+    let k_large = concurrency.max(2).min(n);
+    let old_key = (old_len, me as u32);
+    let new_key = (my_len, me as u32);
+
+    let small = &mut scratch.small;
+    small.clear();
+    small.extend_from_slice(&ext.small);
+    if let Ok(pos) = small.binary_search(&old_key) {
+        small.remove(pos);
+    }
+    if small.len() < k_small || new_key < *small.last().expect("non-empty") {
+        let pos = small.partition_point(|&e| e < new_key);
+        small.insert(pos, new_key);
+    }
+    small.truncate(k_small);
+
+    let large = &mut scratch.large;
+    large.clear();
+    large.extend_from_slice(&ext.large);
+    if let Ok(pos) = large.binary_search_by(|e| old_key.cmp(e)) {
+        large.remove(pos);
+    }
+    if large.len() < k_large || new_key > *large.last().expect("non-empty") {
+        let pos = large.partition_point(|&e| e > new_key);
+        large.insert(pos, new_key);
+    }
+    large.truncate(k_large);
+
+    let pattern = classification_of(use_patterns, bulk, small, large);
+    plan_from_extremes(
+        me,
+        my_len as usize,
+        n,
+        threshold,
+        bulk,
+        concurrency,
+        pattern,
+        large[0].1 as usize,
+        small,
+        large,
+        orders,
+    );
 }
 
 /// The per-message migration guard (Algorithm 1 line 8): forbid a migration

@@ -11,19 +11,20 @@ use crate::accounting::PredictedSet;
 use crate::config::{AcConfig, Attachment, ControlPlane, WorkerPlane};
 use crate::hw::messages::{Descriptor, Message};
 use crate::runtime::patterns::{
-    guard_allows, plan_migrations_into, plan_threshold_only_into, MigrationOrder, PlanScratch,
+    guard_allows, plan_migrations_into, plan_patched_into, plan_threshold_only_into,
+    MigrationOrder, PlanScratch, SharedExtremes,
 };
 use crate::runtime::predictor::LoadEstimator;
 use crate::telemetry::span;
 use interconnect::noc::MeshNoc;
 use interconnect::offchip::MemoryModel;
-use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Transfer};
 use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
 use simcore::faults::{NocDecision, NocFaultRng};
 use simcore::parengine::{par_threads, Partitioning};
-use simcore::rng::{stream_rng, streams};
+use simcore::rng::{stream_rng, streams, BatchedRng};
+use simcore::slab::{Handle, Slab};
 use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
 use simcore::timeline::worker_plane;
@@ -212,24 +213,45 @@ impl Altocumulus {
         self.run_with(trace, tel, self.auto_mode())
     }
 
+    /// Resolves the requested [`RunMode`] into the one [`Engine`] that
+    /// drives the run. Every eligibility rule lives here — the three
+    /// dispatch sites of `run_with` (group-store layout, worker-plane
+    /// resolution, event-loop selection) used to re-derive overlapping
+    /// slices of this logic independently:
+    ///
+    /// - A non-empty fault plan forces the serial engine: fault events are
+    ///   rare, cross-group, and RNG-bearing — exactly what the quiet-window
+    ///   protocol serializes anyway, so the parallel path refuses them
+    ///   (trivially byte-identical). The same plan also downgrades the
+    ///   worker plane to the per-event oracle: epoch bumps, straggler
+    ///   inflation, and resteers landing mid-batch all perturb the analytic
+    ///   timelines.
+    /// - A degenerate partitioning (under two parts, or one not covering
+    ///   the mesh) falls back to serial.
+    /// - The parallel engine always runs the worker plane event-driven; its
+    ///   quiet-window protocol owns the queue.
+    fn choose_engine(&self, mode: RunMode) -> Engine {
+        match mode {
+            RunMode::Parallel(p)
+                if self.cfg.faults.is_empty() && p.parts() >= 2 && p.items() == self.cfg.groups =>
+            {
+                Engine::Parallel(p)
+            }
+            _ if !self.cfg.faults.is_empty() => Engine::SerialEventDriven,
+            _ => match worker_plane(self.cfg.worker_plane) {
+                WorkerPlane::Elided => Engine::SerialElided,
+                WorkerPlane::EventDriven => Engine::SerialEventDriven,
+            },
+        }
+    }
+
     fn run_with<S: TelemetrySink>(
         &mut self,
         trace: &Trace,
         tel: &mut S,
         mode: RunMode,
     ) -> AcResult {
-        // A non-empty fault plan forces the serial engine: fault events are
-        // rare, cross-group, and RNG-bearing — exactly what the quiet-window
-        // protocol serializes anyway, so the parallel path simply refuses
-        // them (trivially byte-identical).
-        let mode = match mode {
-            RunMode::Parallel(p)
-                if self.cfg.faults.is_empty() && p.parts() >= 2 && p.items() == self.cfg.groups =>
-            {
-                RunMode::Parallel(p)
-            }
-            _ => RunMode::Serial,
-        };
+        let engine = self.choose_engine(mode);
         let cfg = &self.cfg;
         let nic = NicModel::default();
         let attach_transfer = match cfg.attachment {
@@ -237,7 +259,10 @@ impl Altocumulus {
             Attachment::RssPcie => Transfer::pcie(),
         };
         let mut steering = cfg.steering.clone();
-        let mut nic_rng: StdRng = stream_rng(cfg.seed, streams::NIC);
+        // Batched: the xoshiro words are prefetched in blocks of 64. Every
+        // steering draw derives from `next_u64`, so the draw sequence is
+        // identical to the unbatched stream by construction.
+        let mut nic_rng = BatchedRng::new(stream_rng(cfg.seed, streams::NIC));
 
         let mut queue = EventQueue::new();
         let base_seq = queue.reserve_seqs(trace.len() as u64);
@@ -268,7 +293,7 @@ impl Altocumulus {
                     None => steering.steer(req.conn, cfg.groups, &mut nic_rng),
                 };
                 let deliver = req.arrival + mac_delay + attach_transfer.latency(req.size_bytes);
-                (deliver, Ev::Enqueue(g, i))
+                (deliver, Ev::Enqueue(g as u32, i as u32))
             },
         );
 
@@ -322,25 +347,34 @@ impl Altocumulus {
         let groups: Vec<Group> = (0..cfg.groups)
             .map(|_| Group {
                 netrx: VecDeque::new(),
+                stage_hint: 0,
                 running: vec![None; cfg.workers_per_group()],
                 waiting: vec![VecDeque::new(); cfg.workers_per_group()],
-                in_flight: vec![0; cfg.workers_per_group()],
+                occ: vec![0; cfg.workers_per_group()],
+                busy: 0,
+                slab: Slab::new(),
                 mgr_busy_until: SimTime::ZERO,
                 dispatch_pending: false,
-                send_inflight: 0,
                 recv_fifo: 0,
+                arrivals_since_tick: 0,
+            })
+            .collect();
+        let cold: Vec<GroupCold> = (0..cfg.groups)
+            .map(|_| GroupCold {
                 q_view: vec![0; cfg.groups],
                 estimator: LoadEstimator::new(cfg.mean_service, 0.2),
-                arrivals_since_tick: 0,
                 mailbox: Vec::new(),
                 tick_seq: 0,
                 dormant: false,
                 next_virtual_tick: SimTime::ZERO,
+                send_inflight: 0,
+                upd_cursor: 0,
+                upd_pending: Vec::new(),
             })
             .collect();
-        let groups = match &mode {
-            RunMode::Serial => GroupStore::serial(groups),
-            RunMode::Parallel(p) => GroupStore::partitioned(groups, p),
+        let groups = match &engine {
+            Engine::Parallel(p) => GroupStore::partitioned(groups, p),
+            _ => GroupStore::serial(groups),
         };
         let noc = MeshNoc::new_square(cfg.total_cores() as u32);
         let topo = (0..cfg.groups)
@@ -380,7 +414,33 @@ impl Altocumulus {
                     update_offsets,
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+
+        // Update-log mode (see `AcWorld::upd_log`): Elided control plane,
+        // healthy, single-tenant. Faults would interpose per-destination
+        // lossy-NoC draws; tenancy would shrink the peer set, breaking the
+        // dense `slot(dst) = dst - (dst > src)` reconstruction.
+        let upd_log_mode = cfg.control_plane == ControlPlane::Elided
+            && cfg.faults.is_empty()
+            && cfg.tenancy.is_none()
+            && cfg.groups > 1;
+        let upd_off_in: Vec<SimDuration> = if upd_log_mode {
+            let mut m = vec![SimDuration::ZERO; cfg.groups * cfg.groups];
+            for (src, t) in topo.iter().enumerate() {
+                for &(dst, off) in &t.update_offsets {
+                    m[dst as usize * cfg.groups + src] = off;
+                }
+            }
+            m
+        } else {
+            Vec::new()
+        };
+        let upd_max_off = upd_off_in
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let upd_fast = upd_log_mode && upd_max_off < cfg.period;
 
         let mut world = AcWorld {
             trace,
@@ -392,6 +452,16 @@ impl Altocumulus {
                 Attachment::RssPcie => Transfer::coherent(),
             },
             groups,
+            cold,
+            msg_slab: Slab::new(),
+            upd_log_mode,
+            upd_log: VecDeque::new(),
+            upd_base: 0,
+            upd_off_in,
+            upd_max_off,
+            upd_fold_at: 1024.max(4 * cfg.groups),
+            upd_fast,
+            upd_gq: vec![0; if upd_fast { cfg.groups } else { 0 }],
             topo,
             scratch: TickScratch::default(),
             completed: 0,
@@ -424,31 +494,18 @@ impl Altocumulus {
             for f in &cfg.faults.worker_failures {
                 let g = f.core / cfg.group_size;
                 let w = f.core % cfg.group_size - 1;
-                queue.push(f.at, Ev::Fault(FaultEv::WorkerFail(g, w)));
+                queue.push(f.at, Ev::Fault(FaultEv::WorkerFail(g as u32, w as u32)));
             }
             for f in &cfg.faults.manager_failures {
-                queue.push(f.at, Ev::Fault(FaultEv::ManagerFail(f.group)));
+                queue.push(f.at, Ev::Fault(FaultEv::ManagerFail(f.group as u32)));
             }
         }
-        // Worker-plane resolution: the batched (elided) engine requires a
-        // healthy serial run. An active fault plan (epoch bumps, straggler
-        // inflation, resteers landing mid-batch) or the parallel engine
-        // (whose quiet-window protocol owns the queue) downgrade wholesale
-        // to the per-event oracle, mirroring how fault plans downgrade the
-        // parallel engine itself.
-        let wplane = match &mode {
-            RunMode::Parallel(_) => WorkerPlane::EventDriven,
-            RunMode::Serial if !cfg.faults.is_empty() => WorkerPlane::EventDriven,
-            RunMode::Serial => worker_plane(cfg.worker_plane),
-        };
-        let summary = match (&mode, wplane) {
-            (RunMode::Serial, WorkerPlane::Elided) => {
-                wp::run_elided(&mut world, &mut queue, &mut source)
-            }
-            (RunMode::Serial, WorkerPlane::EventDriven) => {
+        let summary = match &engine {
+            Engine::SerialElided => wp::run_elided(&mut world, &mut queue, &mut source),
+            Engine::SerialEventDriven => {
                 run_streamed(&mut world, &mut queue, &mut source, SimTime::MAX)
             }
-            (RunMode::Parallel(p), _) => par::run_windows(&mut world, &mut queue, &mut source, p),
+            Engine::Parallel(p) => par::run_windows(&mut world, &mut queue, &mut source, p),
         };
         world.finalize_idle_accounting(summary.end_time);
         let fault_stats = world.faults.as_ref().map(|f| f.stats).unwrap_or_default();
@@ -476,7 +533,9 @@ impl RpcSystem for Altocumulus {
     }
 }
 
-/// Which engine drives the event loop of one run.
+/// Which engine a caller *requested* for one run. Resolved — eligibility
+/// rules and worker-plane downgrades applied — into an [`Engine`] by
+/// [`Altocumulus::choose_engine`].
 enum RunMode {
     /// The classic single-threaded loop.
     Serial,
@@ -487,20 +546,39 @@ enum RunMode {
     Parallel(Partitioning),
 }
 
+/// The fully resolved engine of one run — the single value the group-store
+/// layout and the event-loop dispatch both match on. All three variants
+/// produce byte-identical observables.
+enum Engine {
+    /// Serial loop, worker plane elided onto analytic per-class timelines.
+    SerialElided,
+    /// Serial loop, every event through the calendar queue (the oracle).
+    SerialEventDriven,
+    /// Quiet-window parallel engine (worker plane always event-driven).
+    Parallel(Partitioning),
+}
+
+/// The event vocabulary, deliberately small and `Copy` (24 bytes): the
+/// calendar queue's bucket min-scan cost is proportional to entry size, so
+/// rare or bulky payloads live in slab arenas ([`simcore::slab::Slab`]) and
+/// travel as 8-byte generation-checked [`Handle`]s — request metadata in the
+/// owning group's arena, protocol messages in the world's.
+#[derive(Clone, Copy)]
 enum Ev {
     /// Request reaches its steered manager's NetRX queue.
-    Enqueue(usize, usize),
-    /// Dispatched request lands at worker `(group, worker)`.
-    Deliver(usize, usize, QueuedRequest),
+    Enqueue(u32, u32),
+    /// Dispatched request lands at worker `(group, worker)`. The handle
+    /// resolves in the group's request arena (`Group::slab`).
+    Deliver(u32, u32, Handle),
     /// Worker `(group, worker)` finished its request. The third field is
     /// the worker's liveness epoch at service start: a completion whose
     /// epoch no longer matches is stale — the worker died mid-service and
     /// the request was already resteered. Always `0` on healthy runs.
-    WorkerDone(usize, usize, u32),
+    WorkerDone(u32, u32, u32),
     /// Serialized manager operation (ACrss dispatch) completed.
-    MgrOpDone(usize),
+    MgrOpDone(u32),
     /// Runtime period boundary for manager `group`.
-    Tick(usize),
+    Tick(u32),
     /// Protocol message arrives at manager `dst`. Carries its own queue
     /// `seq` so a dormancy wake can replay the exact `(time, seq)`
     /// tie-break the event queue would have applied between this message
@@ -508,14 +586,15 @@ enum Ev {
     /// [`AcWorld::wake_group`]).
     Msg {
         /// Destination manager.
-        dst: usize,
+        dst: u32,
         /// The queue sequence number this event was pushed under.
         seq: u64,
-        /// Payload.
-        msg: Message,
+        /// Payload handle, resolved in the world's message arena
+        /// (`AcWorld::msg_slab`); messages never enter worker shards.
+        msg: Handle,
     },
     /// Receive-FIFO slot at manager `group` drained by the migrator.
-    RecvDrained(usize),
+    RecvDrained(u32),
     /// A scheduled fault strikes, or a fault-recovery timer fires. Only
     /// pushed when the configured [`simcore::faults::FaultPlan`] is
     /// non-empty.
@@ -523,30 +602,64 @@ enum Ev {
 }
 
 /// Fault-plan events and recovery timers (see [`Ev::Fault`]).
+#[derive(Clone, Copy)]
 enum FaultEv {
     /// Worker `(group, worker)` fails permanently.
-    WorkerFail(usize, usize),
+    WorkerFail(u32, u32),
     /// Manager of `group` fails permanently.
-    ManagerFail(usize),
+    ManagerFail(u32),
     /// A neighbor group adopts failed manager `group`'s NetRX queue.
-    Takeover(usize),
+    Takeover(u32),
     /// The resilience timeout for pending MIGRATE `id` expires.
-    MigrateTimeout(usize),
+    MigrateTimeout(u32),
 }
 
+/// The *hot* plane of one group: exactly the state the per-event request
+/// lifecycle (`Enqueue`/`Deliver`/`WorkerDone`/`MgrOpDone`/`RecvDrained`)
+/// reads and writes. This is also the state that moves into worker shards
+/// of the parallel engine, so everything a shard-handled event touches must
+/// live here. Everything only the serial control plane (ticks, messages,
+/// faults) touches lives in [`GroupCold`], a dense parallel `Vec` on
+/// [`AcWorld`], keeping this struct — and therefore the cache footprint of
+/// a hot handler — small.
 struct Group {
     netrx: VecDeque<QueuedRequest>,
+    /// Lower bound on the length of the already-migrated run at the tail of
+    /// `netrx` (invariant: the last `min(stage_hint, len)` entries all have
+    /// `migrated` set). Maintained by [`Group::push_netrx`] and
+    /// [`stage_from_tail`]; front pops need no upkeep because consuming into
+    /// the hinted region leaves a sub-suffix that is still all migrated.
+    stage_hint: u32,
     running: Vec<Option<QueuedRequest>>,
     waiting: Vec<VecDeque<QueuedRequest>>,
-    in_flight: Vec<usize>,
+    /// Maintained occupancy (`running + waiting + in-transit`) per worker;
+    /// `u32::MAX` marks a dead worker so [`Group::free_worker`] is a single
+    /// branch-free argmin over one dense row. Kept in lockstep by the
+    /// dispatch/done handlers instead of being recomputed per dispatch.
+    occ: Vec<u32>,
+    /// Sum of `occ` over live workers plus in-transit descriptors headed at
+    /// dead workers (which still bounce): the group's total outstanding
+    /// work. Replaces three O(workers) scans in the quiescence check and
+    /// the `worker_queue_depth` probe.
+    busy: u32,
+    /// Arena for in-flight request metadata: `Ev::Deliver` carries an
+    /// 8-byte handle into this slab instead of a 32-byte `QueuedRequest`.
+    slab: Slab<QueuedRequest>,
     mgr_busy_until: SimTime,
     dispatch_pending: bool,
-    send_inflight: usize,
     recv_fifo: usize,
+    arrivals_since_tick: u64,
+}
+
+/// The *cold* plane of one group: state only the serial control plane —
+/// periodic ticks, protocol messages, dormancy bookkeeping — ever touches.
+/// Stored as a dense `Vec<GroupCold>` on [`AcWorld`] (never lent to
+/// parallel shards), indexed by group id in lockstep with the hot
+/// [`Group`] store.
+struct GroupCold {
     /// Latest known queue length of every manager (PR `q` vector).
     q_view: Vec<u32>,
     estimator: LoadEstimator,
-    arrivals_since_tick: u64,
     /// Elided control plane: UPDATE records parked for this group, applied
     /// lazily by [`AcWorld::drain_mailbox`] at the next tick instead of
     /// costing one simulator event each.
@@ -561,6 +674,15 @@ struct Group {
     /// Next period boundary this group would tick at; valid while
     /// `dormant`.
     next_virtual_tick: SimTime,
+    send_inflight: usize,
+    /// Update-log mode: absolute index of the first `AcWorld::upd_log`
+    /// record this group has not examined yet.
+    upd_cursor: u64,
+    /// Update-log mode: reconstructed deliveries that were still in flight
+    /// at the last drain (their `(deliver_at, seq)` key at or past the
+    /// tick's cutoff), parked for a later tick. Older log positions than
+    /// `upd_cursor`, so draining pending-then-log preserves seq order.
+    upd_pending: Vec<MailEntry>,
 }
 
 /// One elided UPDATE delivery parked in a destination mailbox.
@@ -578,26 +700,45 @@ struct MailEntry {
     queue_len: u32,
 }
 
+/// One tick's whole UPDATE broadcast as a single shared log record
+/// (healthy single-tenant Elided runs only — see `AcWorld::upd_log`).
+///
+/// The sender reserves the full block of `groups - 1` seqs at once
+/// (identical counter evolution to the per-peer reservations it replaces);
+/// a destination `dst` reconstructs its own virtual delivery exactly:
+/// `seq = base_seq + slot(dst)` where `slot` is `dst`'s position in the
+/// sender's broadcast order, and `deliver_at = send_time +` the
+/// precomputed per-pair offset. Broadcasting is thereby O(1) per tick
+/// instead of O(groups) mailbox pushes.
+#[derive(Debug, Clone, Copy)]
+struct UpdRec {
+    send_time: SimTime,
+    base_seq: u64,
+    src: u32,
+    queue_len: u32,
+}
+
 impl Group {
-    /// Least-loaded worker with occupancy below `bound`. Workers flagged in
-    /// `dead` never dispatch; an empty slice (healthy run) means none are.
-    ///
-    /// Each worker's occupancy (`running + waiting + in_flight`) is computed
-    /// exactly once; ties keep the lowest-index worker, matching the
-    /// first-minimal semantics of `min_by_key`.
-    fn free_worker(&self, bound: usize, dead: &[bool]) -> Option<usize> {
-        let mut best: Option<(usize, usize)> = None; // (occupancy, worker)
-        for w in 0..self.running.len() {
-            if !dead.is_empty() && dead[w] {
-                continue;
-            }
-            let occ =
-                self.running[w].is_some() as usize + self.waiting[w].len() + self.in_flight[w];
+    /// Least-loaded worker with occupancy below `bound`: a single argmin
+    /// over the maintained `occ` row. Dead workers sit at `u32::MAX`, which
+    /// `occ < bound` excludes for free (`bound` is the small `local_bound`).
+    /// Ties keep the lowest-index worker, matching the first-minimal
+    /// semantics of `min_by_key`.
+    fn free_worker(&self, bound: u32) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None; // (occupancy, worker)
+        for (w, &occ) in self.occ.iter().enumerate() {
             if occ < bound && best.is_none_or(|(b, _)| occ < b) {
                 best = Some((occ, w));
             }
         }
         best.map(|(_, w)| w)
+    }
+
+    /// Pushes onto NetRX, maintaining the `stage_hint` tail-run invariant:
+    /// a migrated entry extends the known run, anything else breaks it.
+    fn push_netrx(&mut self, qr: QueuedRequest) {
+        self.stage_hint = if qr.migrated { self.stage_hint + 1 } else { 0 };
+        self.netrx.push_back(qr);
     }
 }
 
@@ -709,45 +850,81 @@ struct TickScratch {
     orders: Vec<MigrationOrder>,
     /// Descriptors staged from the NetRX tail for one MIGRATE message.
     staged: Vec<Descriptor>,
-    /// Already-migrated entries temporarily popped while staging.
-    skipped: Vec<QueuedRequest>,
     /// Planner-internal rank/sort buffers.
     plan: PlanScratch,
+    /// Fast-mode shared planner extremes, ranked over the shared PR view
+    /// once per tick instant and patched per group (`ext_instant` tags the
+    /// instant they were computed for).
+    shared_ext: SharedExtremes,
+    ext_instant: SimTime,
+    /// Buffers for the debug-build differential check of the patched
+    /// planner against the full-scan oracle (reused so the allocation
+    /// gates hold in debug too).
+    #[allow(dead_code)]
+    oracle_orders: Vec<MigrationOrder>,
+    #[allow(dead_code)]
+    oracle_plan: PlanScratch,
 }
 
 /// Pops up to `count` not-yet-migrated requests from the *tail* of `netrx`
-/// (the paper migrates from Tail) into `staged`, skipping — and restoring in
-/// place — entries that already migrated once. `allow_remigrate` lifts the
-/// at-most-once restriction; only the emergency drain (every worker of the
-/// holding group dead) uses it, since leaving a once-migrated request in a
-/// workerless group would strand it forever.
+/// (the paper migrates from Tail) into `staged`, passing over entries that
+/// already migrated once. `allow_remigrate` lifts the at-most-once
+/// restriction; only the emergency drain (every worker of the holding group
+/// dead) uses it, since leaving a once-migrated request in a workerless
+/// group would strand it forever.
+///
+/// `hint` is the group's [`Group::stage_hint`]: at least the last
+/// `min(hint, len)` entries of `netrx` are already-migrated. Because landed
+/// migrations can never re-migrate, a busy destination accumulates a long
+/// unmigratable tail; the hint lets staging step over it in O(1) instead of
+/// re-walking it on every planned order. Staging removes entries *between*
+/// migrated ones in place, which closes the gaps — so every entry walked
+/// over joins the known-migrated tail run and the hint only grows until the
+/// next non-migrated NetRX push resets it.
 fn stage_from_tail(
     netrx: &mut VecDeque<QueuedRequest>,
     trace: &Trace,
     count: usize,
     staged: &mut Vec<Descriptor>,
-    skipped: &mut Vec<QueuedRequest>,
+    hint: &mut u32,
     allow_remigrate: bool,
 ) {
     staged.clear();
-    skipped.clear();
-    while staged.len() < count {
-        let Some(qr) = netrx.pop_back() else { break };
-        if qr.migrated && !allow_remigrate {
-            skipped.push(qr);
-        } else {
-            staged.push(Descriptor {
-                id: trace.requests()[qr.idx].id,
-                trace_idx: qr.idx,
-                first_enqueued: qr.enqueued,
-            });
+    let skip = if allow_remigrate {
+        0
+    } else {
+        (*hint as usize).min(netrx.len())
+    };
+    debug_assert!(
+        netrx.iter().rev().take(skip).all(|qr| qr.migrated),
+        "stage_hint must only cover migrated entries"
+    );
+    // One past the deepest candidate still worth examining.
+    let mut idx = netrx.len() - skip;
+    let mut walked = 0u32;
+    while staged.len() < count && idx > 0 {
+        idx -= 1;
+        if netrx[idx].migrated && !allow_remigrate {
+            walked += 1;
+            continue;
         }
+        // Removing below the walked-over entries shifts only indices above
+        // `idx`, so the downward walk stays valid and the relative order of
+        // everything left in the queue is preserved.
+        let qr = netrx.remove(idx).expect("index in range");
+        staged.push(Descriptor {
+            id: trace.requests()[qr.idx].id,
+            trace_idx: qr.idx,
+            first_enqueued: qr.enqueued,
+        });
     }
-    // `skipped` holds the passed-over entries tail-first; pushing them back
-    // in reverse restores their original relative order.
-    while let Some(qr) = skipped.pop() {
-        netrx.push_back(qr);
-    }
+    *hint = if allow_remigrate {
+        // Emergency staging consumes migrated entries too; whatever tail
+        // run survives is unknown now.
+        0
+    } else {
+        (skip + walked as usize) as u32
+    };
 }
 
 /// Lifecycle of one tracked (timeout-armed) MIGRATE exchange.
@@ -825,6 +1002,47 @@ struct AcWorld<'t, S: TelemetrySink> {
     dispatch_op: SimDuration,
     intra_transfer: Transfer,
     groups: GroupStore,
+    /// Cold per-group state, parallel to `groups` by id. Only serial
+    /// control-plane code (ticks, messages, faults, dormancy) touches it,
+    /// so it never moves into parallel shards.
+    cold: Vec<GroupCold>,
+    /// Arena for protocol-message payloads: `Ev::Msg` carries an 8-byte
+    /// handle into this slab instead of an inline [`Message`] (whose
+    /// MIGRATE variant owns a descriptor `Vec`).
+    msg_slab: Slab<Message>,
+    /// True when UPDATE broadcasts ride the shared log ([`UpdRec`]) instead
+    /// of per-destination mailbox pushes: Elided control plane, no fault
+    /// plan (no lossy-NoC draws), no tenancy (every group peers with every
+    /// other). The mailbox path remains for everything else.
+    upd_log_mode: bool,
+    /// The shared UPDATE log, ordered by (non-decreasing) send time; one
+    /// record per tick broadcast. Destinations consume it lazily through
+    /// their `GroupCold::upd_cursor`.
+    upd_log: VecDeque<UpdRec>,
+    /// Absolute log index of `upd_log.front()` (the fold compaction drops
+    /// consumed prefixes without renumbering cursors).
+    upd_base: u64,
+    /// Transposed delivery-offset matrix, `[dst * groups + src]` = wire
+    /// latency + injection stagger of the `src → dst` UPDATE slot. Lets a
+    /// destination reconstruct `deliver_at` with one add.
+    upd_off_in: Vec<SimDuration>,
+    /// Largest entry of `upd_off_in`: records older than `now - max` are
+    /// deliverable everywhere and thus foldable.
+    upd_max_off: SimDuration,
+    /// Log length that triggers a fold compaction.
+    upd_fold_at: usize,
+    /// Fast drain eligibility: `upd_max_off < period`. Ticks live on a
+    /// shared lattice (`period + k·stride`), so every record from a previous
+    /// instant then has `deliver_at` *strictly* before any current tick —
+    /// no seq tiebreaks, no in-flight parking — and every group's PR view
+    /// coincides with one shared array. The drain collapses to a single
+    /// per-instant pass over the log ([`Self::drain_update_log_fast`])
+    /// instead of one cursor walk per group.
+    upd_fast: bool,
+    /// Fast-mode shared PR view: last broadcast queue length per source
+    /// over all records with `send_time < now`. A ticking group snapshots
+    /// this and overlays its own live queue length.
+    upd_gq: Vec<u32>,
     topo: Vec<GroupTopo>,
     scratch: TickScratch,
     completed: usize,
@@ -877,10 +1095,26 @@ fn injection_stagger(slot: usize) -> SimDuration {
 /// Pushes a protocol-message event that carries its own queue seq, so a
 /// dormancy wake can replay the exact `(time, seq)` tie-break the queue
 /// would have applied (see [`AcWorld::wake_group`]). Consumes exactly one
-/// seq — identical counter evolution to a plain `push`.
-fn push_msg(q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
+/// seq — identical counter evolution to a plain `push`. The payload parks
+/// in the message arena; the event carries only its handle.
+fn push_msg(
+    msgs: &mut Slab<Message>,
+    q: &mut EventQueue<Ev>,
+    at: SimTime,
+    dst: usize,
+    msg: Message,
+) {
     let seq = q.reserve_seqs(1);
-    q.push_at_seq(at, seq, Ev::Msg { dst, seq, msg });
+    let msg = msgs.insert(msg);
+    q.push_at_seq(
+        at,
+        seq,
+        Ev::Msg {
+            dst: dst as u32,
+            seq,
+            msg,
+        },
+    );
 }
 
 /// [`AcWorld::send_msg`] as a free function over just the fault state, so
@@ -892,6 +1126,7 @@ fn push_msg(q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
 /// resilience timeout recovers from.
 fn send_msg_via(
     faults: &mut Option<Box<FaultState>>,
+    msgs: &mut Slab<Message>,
     q: &mut EventQueue<Ev>,
     at: SimTime,
     dst: usize,
@@ -905,7 +1140,7 @@ fn send_msg_via(
         },
     };
     match decision {
-        NocDecision::Deliver => push_msg(q, at, dst, msg),
+        NocDecision::Deliver => push_msg(msgs, q, at, dst, msg),
         NocDecision::Drop => {
             faults
                 .as_mut()
@@ -919,7 +1154,7 @@ fn send_msg_via(
                 .expect("fault decision")
                 .stats
                 .messages_delayed += 1;
-            push_msg(q, at + d, dst, msg);
+            push_msg(msgs, q, at + d, dst, msg);
         }
     }
 }
@@ -971,10 +1206,9 @@ struct QuietEnv<'a> {
     cfg: &'a AcConfig,
     intra_transfer: &'a Transfer,
     dispatch_op: SimDuration,
-    /// Dead-worker flags of this group; empty on healthy runs.
-    dead: &'a [bool],
     /// Liveness epochs of this group's workers; empty (all zero) on healthy
-    /// runs.
+    /// runs. (Dead workers need no flag here: their `occ` slot sits at
+    /// `u32::MAX`, which excludes them from dispatch.)
     epochs: &'a [u32],
     /// True when this group's manager has failed.
     mgr_dead: bool,
@@ -1013,7 +1247,7 @@ impl QuietEnv<'_> {
         sink.span(idx as u32, span::ARRIVAL, g as u32, arrival);
         sink.span(idx as u32, span::NETRX_ENQUEUE, g as u32, now);
         let qr = QueuedRequest::new(idx, self.total_cost(idx), now);
-        grp.netrx.push_back(qr);
+        grp.push_netrx(qr);
         grp.arrivals_since_tick += 1;
         self.try_dispatch(g, now, grp, sink);
     }
@@ -1031,16 +1265,18 @@ impl QuietEnv<'_> {
                 if grp.netrx.is_empty() {
                     return;
                 }
-                let Some(w) = grp.free_worker(self.cfg.local_bound, self.dead) else {
+                let Some(w) = grp.free_worker(self.cfg.local_bound as u32) else {
                     return;
                 };
                 let qr = grp.netrx.pop_front().expect("checked non-empty");
-                grp.in_flight[w] += 1;
+                grp.occ[w] += 1;
+                grp.busy += 1;
                 let core = self.worker_core(g, w);
                 sink.span(qr.idx as u32, span::DISPATCH, core, now);
                 let req = &self.trace.requests()[qr.idx];
                 let xfer = self.intra_transfer.latency(req.size_bytes);
-                sink.push(now + xfer, Ev::Deliver(g, w, qr));
+                let h = grp.slab.insert(qr);
+                sink.push(now + xfer, Ev::Deliver(g as u32, w as u32, h));
             },
             Attachment::RssPcie => {
                 if grp.netrx.is_empty() {
@@ -1050,7 +1286,7 @@ impl QuietEnv<'_> {
                     if !grp.dispatch_pending {
                         grp.dispatch_pending = true;
                         let at = grp.mgr_busy_until;
-                        sink.push(at, Ev::MgrOpDone(g));
+                        sink.push(at, Ev::MgrOpDone(g as u32));
                     }
                     return;
                 }
@@ -1061,39 +1297,43 @@ impl QuietEnv<'_> {
                     if grp.netrx.is_empty() {
                         break;
                     }
-                    let Some(w) = grp.free_worker(self.cfg.local_bound, self.dead) else {
+                    let Some(w) = grp.free_worker(self.cfg.local_bound as u32) else {
                         break;
                     };
                     let qr = grp.netrx.pop_front().expect("checked non-empty");
-                    grp.in_flight[w] += 1;
+                    grp.occ[w] += 1;
+                    grp.busy += 1;
                     let core = self.worker_core(g, w);
                     sink.span(qr.idx as u32, span::DISPATCH, core, now);
-                    sink.push(done_at, Ev::Deliver(g, w, qr));
+                    let h = grp.slab.insert(qr);
+                    sink.push(done_at, Ev::Deliver(g as u32, w as u32, h));
                     moved += 1;
                 }
                 if moved > 0 {
                     grp.mgr_busy_until = done_at;
                     grp.dispatch_pending = true;
-                    sink.push(done_at, Ev::MgrOpDone(g));
+                    sink.push(done_at, Ev::MgrOpDone(g as u32));
                 }
             }
         }
     }
 
     /// Healthy core of [`Ev::Deliver`] (the dead-worker bounce, a
-    /// cross-group concern, happens in the caller).
+    /// cross-group concern, happens in the caller). The handle resolves in
+    /// the group's request arena; occupancy is untouched — the request
+    /// moves from in-transit to running/waiting within the same worker.
     fn deliver(
         &self,
         g: usize,
         w: usize,
-        qr: QueuedRequest,
+        h: Handle,
         now: SimTime,
         grp: &mut Group,
         sink: &mut impl QuietSink,
     ) {
+        let qr = grp.slab.take(h);
         let core = self.worker_core(g, w);
         sink.span(qr.idx as u32, span::WORKER_ARRIVE, core, now);
-        grp.in_flight[w] -= 1;
         if grp.running[w].is_none() && grp.waiting[w].is_empty() {
             self.start_worker(g, w, qr, now, grp, sink);
         } else {
@@ -1123,7 +1363,10 @@ impl QuietEnv<'_> {
             qr.remaining
         };
         grp.running[w] = Some(qr);
-        sink.push(now + wall, Ev::WorkerDone(g, w, self.epoch_of(w)));
+        sink.push(
+            now + wall,
+            Ev::WorkerDone(g as u32, w as u32, self.epoch_of(w)),
+        );
     }
 
     /// Healthy core of [`Ev::WorkerDone`] (the stale-epoch check happens in
@@ -1137,6 +1380,8 @@ impl QuietEnv<'_> {
         sink: &mut impl QuietSink,
     ) {
         let qr = grp.running[w].take().expect("done on idle worker");
+        grp.occ[w] -= 1;
+        grp.busy -= 1;
         let core = self.worker_core(g, w);
         sink.span(qr.idx as u32, span::COMPLETE, core, now);
         let req = &self.trace.requests()[qr.idx];
@@ -1165,9 +1410,9 @@ impl QuietEnv<'_> {
 /// method so the field borrows stay visibly disjoint to the borrow checker.
 macro_rules! quiet_parts {
     ($self:expr, $g:expr, $q:expr) => {{
-        let (dead, epochs, mgr_dead, inflate): (&[bool], &[u32], bool, bool) = match &$self.faults {
-            Some(f) => (&f.dead[$g], &f.epoch[$g], f.mgr_dead[$g], true),
-            None => (&[], &[], false, false),
+        let (epochs, mgr_dead, inflate): (&[u32], bool, bool) = match &$self.faults {
+            Some(f) => (&f.epoch[$g], f.mgr_dead[$g], true),
+            None => (&[], false, false),
         };
         (
             QuietEnv {
@@ -1175,7 +1420,6 @@ macro_rules! quiet_parts {
                 cfg: $self.cfg,
                 intra_transfer: &$self.intra_transfer,
                 dispatch_op: $self.dispatch_op,
-                dead,
                 epochs,
                 mgr_dead,
                 inflate,
@@ -1260,7 +1504,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     /// channel (delay only) — loss of those is modelled solely by dead
     /// destination tiles, which the resilience timeout recovers from.
     fn send_msg(&mut self, q: &mut EventQueue<Ev>, at: SimTime, dst: usize, msg: Message) {
-        send_msg_via(&mut self.faults, q, at, dst, msg);
+        send_msg_via(&mut self.faults, &mut self.msg_slab, q, at, dst, msg);
     }
 
     /// Applies every mailboxed UPDATE whose legacy event would have popped
@@ -1268,22 +1512,150 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     /// order (the mailbox is append-ordered by seq). Records still in
     /// flight stay parked for a later tick.
     fn drain_mailbox(&mut self, g: usize, now: SimTime) {
-        let grp = &mut self.groups[g];
-        if grp.mailbox.is_empty() {
+        let c = &mut self.cold[g];
+        if c.mailbox.is_empty() {
             return;
         }
-        let cutoff = (now, grp.tick_seq);
+        let cutoff = (now, c.tick_seq);
         let mut kept = 0;
-        for i in 0..grp.mailbox.len() {
-            let e = grp.mailbox[i];
+        for i in 0..c.mailbox.len() {
+            let e = c.mailbox[i];
             if (e.deliver_at, e.seq) < cutoff {
-                grp.q_view[e.src as usize] = e.queue_len;
+                c.q_view[e.src as usize] = e.queue_len;
             } else {
-                grp.mailbox[kept] = e;
+                c.mailbox[kept] = e;
                 kept += 1;
             }
         }
-        grp.mailbox.truncate(kept);
+        c.mailbox.truncate(kept);
+    }
+
+    /// Fast-mode drain (`upd_max_off < period`): consumes every log record
+    /// from previous tick instants into the shared PR view, once per
+    /// instant (the first ticking group pays it; peers at the same instant
+    /// find the log already at the frontier).
+    ///
+    /// Exactness: ticks live on the lattice `period + k·stride`, so a
+    /// record with `send_time < now` was sent at least a stride ago and
+    /// `deliver_at ≤ send_time + max_off < send_time + period ≤ now`
+    /// strictly — deliverable to *every* destination with no seq
+    /// comparison. A record with `send_time ≥ now` has `deliver_at > now`
+    /// (positive offsets) — deliverable to none. Applying in log order is
+    /// the mailbox's append-by-seq order, so last-writer-wins per source
+    /// leaves the identical view the per-destination drains would.
+    fn drain_update_log_fast(&mut self, now: SimTime) {
+        while let Some(&rec) = self.upd_log.front() {
+            if rec.send_time >= now {
+                break;
+            }
+            self.upd_gq[rec.src as usize] = rec.queue_len;
+            self.upd_log.pop_front();
+        }
+    }
+
+    /// Update-log counterpart of [`Self::drain_mailbox`]: walks group `g`'s
+    /// cursor over the shared log, reconstructing each record's
+    /// `(deliver_at, seq)` for this destination and applying it against the
+    /// same `(now, tick_seq)` cutoff. Parked pending entries (older log
+    /// positions, hence smaller seqs) are retried first, so applications
+    /// happen in exactly the mailbox's append-by-seq order.
+    fn drain_update_log(&mut self, g: usize, now: SimTime) {
+        let groups_n = self.cold.len();
+        let c = &mut self.cold[g];
+        let cutoff = (now, c.tick_seq);
+        if !c.upd_pending.is_empty() {
+            let mut kept = 0;
+            for i in 0..c.upd_pending.len() {
+                let e = c.upd_pending[i];
+                if (e.deliver_at, e.seq) < cutoff {
+                    c.q_view[e.src as usize] = e.queue_len;
+                } else {
+                    c.upd_pending[kept] = e;
+                    kept += 1;
+                }
+            }
+            c.upd_pending.truncate(kept);
+        }
+        let mut idx = (c.upd_cursor - self.upd_base) as usize;
+        while let Some(&rec) = self.upd_log.get(idx) {
+            // The log is send-time-sorted and delivery offsets are strictly
+            // positive (distinct tiles, ≥ 1 hop), so a record sent at or
+            // after `now` cannot beat this tick's cutoff — nor can any
+            // later one. Stop; the cursor stays on the frontier.
+            if rec.send_time >= now {
+                break;
+            }
+            idx += 1;
+            let src = rec.src as usize;
+            if src == g {
+                continue;
+            }
+            let slot = if g < src { g } else { g - 1 };
+            let seq = rec.base_seq + slot as u64;
+            let deliver_at = rec.send_time + self.upd_off_in[g * groups_n + src];
+            if (deliver_at, seq) < cutoff {
+                c.q_view[src] = rec.queue_len;
+            } else {
+                c.upd_pending.push(MailEntry {
+                    deliver_at,
+                    seq,
+                    src: rec.src,
+                    queue_len: rec.queue_len,
+                });
+            }
+        }
+        c.upd_cursor = self.upd_base + idx as u64;
+    }
+
+    /// Bounds the shared log: every record old enough to be deliverable
+    /// everywhere (`send_time + max offset < now`) is folded directly into
+    /// the PR views of the groups still behind it — dormant laggards whose
+    /// cursors would otherwise pin the log — and the prefix is dropped.
+    ///
+    /// Early application is exact. A folded record's delivery key is
+    /// strictly below any future tick's cutoff (its `deliver_at < now ≤`
+    /// that tick's `now`), so the laggard's next drain would have applied
+    /// it anyway; last-writer-wins per source makes the in-order direct
+    /// writes equivalent. Ordering against parked pending entries holds
+    /// because an older same-source pending entry has an even smaller
+    /// `deliver_at`, hence is also past due and flushes first.
+    fn fold_update_log(&mut self, now: SimTime) {
+        let max_off = self.upd_max_off;
+        let point = self
+            .upd_log
+            .partition_point(|r| r.send_time + max_off < now);
+        if point == 0 {
+            return;
+        }
+        let fold_to = self.upd_base + point as u64;
+        for g in 0..self.cold.len() {
+            let c = &mut self.cold[g];
+            if c.upd_cursor >= fold_to {
+                continue;
+            }
+            if !c.upd_pending.is_empty() {
+                let mut kept = 0;
+                for i in 0..c.upd_pending.len() {
+                    let e = c.upd_pending[i];
+                    if e.deliver_at < now {
+                        c.q_view[e.src as usize] = e.queue_len;
+                    } else {
+                        c.upd_pending[kept] = e;
+                        kept += 1;
+                    }
+                }
+                c.upd_pending.truncate(kept);
+            }
+            for idx in (c.upd_cursor - self.upd_base) as usize..point {
+                let rec = self.upd_log[idx];
+                if rec.src as usize != g {
+                    c.q_view[rec.src as usize] = rec.queue_len;
+                }
+            }
+            c.upd_cursor = fold_to;
+        }
+        self.upd_base = fold_to;
+        self.upd_log.drain(..point);
     }
 
     /// Arms group `g`'s next period timer at `at`, or — Elided mode, when
@@ -1297,13 +1669,13 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         q: &mut EventQueue<Ev>,
     ) {
         if !self.elided() {
-            q.push(at, Ev::Tick(g));
+            q.push(at, Ev::Tick(g as u32));
             return;
         }
         if quiescent {
-            let grp = &mut self.groups[g];
-            grp.dormant = true;
-            grp.next_virtual_tick = at;
+            let c = &mut self.cold[g];
+            c.dormant = true;
+            c.next_virtual_tick = at;
             return;
         }
         // One block of `G` seqs per tick instant, slot = group index: ticks
@@ -1314,8 +1686,8 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             self.tick_block_base = q.reserve_seqs(self.groups.len() as u64);
         }
         let seq = self.tick_block_base + g as u64;
-        self.groups[g].tick_seq = seq;
-        q.push_at_seq(at, seq, Ev::Tick(g));
+        self.cold[g].tick_seq = seq;
+        q.push_at_seq(at, seq, Ev::Tick(g as u32));
     }
 
     /// Credits `ticks` skipped idle invocations to group `g`, the last of
@@ -1326,9 +1698,11 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     fn account_idle_ticks(&mut self, g: usize, ticks: u64, last: SimTime) {
         self.stats.ticks += ticks;
         self.stats.update_messages += ticks * (self.topo[g].peers.len() as u64 - 1);
-        let grp = &mut self.groups[g];
-        grp.estimator.fast_forward_idle(ticks, self.cfg.period);
+        self.cold[g]
+            .estimator
+            .fast_forward_idle(ticks, self.cfg.period);
         if self.cfg.attachment == Attachment::RssPcie {
+            let grp = &mut self.groups[g];
             grp.mgr_busy_until = grp.mgr_busy_until.max(last + self.runtime_cost);
         }
     }
@@ -1345,17 +1719,17 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         waker_seq: Option<u64>,
         q: &mut EventQueue<Ev>,
     ) {
-        if !self.groups[g].dormant {
+        if !self.cold[g].dormant {
             return;
         }
         let stride = self.tick_stride;
         let mut pending = 0u64;
         let mut last = SimTime::ZERO;
         {
-            let grp = &mut self.groups[g];
-            while grp.next_virtual_tick < now {
-                last = grp.next_virtual_tick;
-                grp.next_virtual_tick = last + stride;
+            let c = &mut self.cold[g];
+            while c.next_virtual_tick < now {
+                last = c.next_virtual_tick;
+                c.next_virtual_tick = last + stride;
                 pending += 1;
             }
         }
@@ -1366,7 +1740,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         // MIGRATE's seq is compared against the tick-seq slot this group
         // owns at the shared instant; the sender armed its own timer for
         // the same instant, so the block is already reserved.
-        if self.groups[g].next_virtual_tick == now {
+        if self.cold[g].next_virtual_tick == now {
             let tick_first = match waker_seq {
                 None => false,
                 Some(seq) => {
@@ -1378,17 +1752,17 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 }
             };
             if tick_first {
-                let grp = &mut self.groups[g];
-                last = grp.next_virtual_tick;
-                grp.next_virtual_tick = last + stride;
+                let c = &mut self.cold[g];
+                last = c.next_virtual_tick;
+                c.next_virtual_tick = last + stride;
                 pending += 1;
             }
         }
         if pending > 0 {
             self.account_idle_ticks(g, pending, last);
         }
-        self.groups[g].dormant = false;
-        let at = self.groups[g].next_virtual_tick;
+        self.cold[g].dormant = false;
+        let at = self.cold[g].next_virtual_tick;
         self.schedule_next_tick(g, at, false, q);
     }
 
@@ -1397,17 +1771,17 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
     /// are credited every virtual tick strictly before `end_time`.
     fn finalize_idle_accounting(&mut self, end_time: SimTime) {
         let stride = self.tick_stride;
-        for g in 0..self.groups.len() {
-            if !self.groups[g].dormant {
+        for g in 0..self.cold.len() {
+            if !self.cold[g].dormant {
                 continue;
             }
             let mut pending = 0u64;
             let mut last = SimTime::ZERO;
             {
-                let grp = &mut self.groups[g];
-                while grp.next_virtual_tick < end_time {
-                    last = grp.next_virtual_tick;
-                    grp.next_virtual_tick = last + stride;
+                let c = &mut self.cold[g];
+                while c.next_virtual_tick < end_time {
+                    last = c.next_virtual_tick;
+                    c.next_virtual_tick = last + stride;
                     pending += 1;
                 }
             }
@@ -1435,7 +1809,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             .span_point(idx as u32, span::FAULT_RESTEER, tgt as u32, now);
         let mut qr = QueuedRequest::new(idx, self.total_cost(idx), now);
         qr.migrated = migrated;
-        self.groups[tgt].netrx.push_back(qr);
+        self.groups[tgt].push_netrx(qr);
         if let Some(fs) = &mut self.faults {
             fs.stats.resteered_requests += 1;
         }
@@ -1454,6 +1828,16 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             fs.dead[g][w] = true;
             fs.epoch[g][w] += 1;
             fs.stats.worker_failures += 1;
+        }
+        {
+            // The dead worker's running/waiting load leaves the group's
+            // outstanding count now; descriptors still in transit stay
+            // counted until their `Deliver` bounces. The `u32::MAX` sentinel
+            // removes the worker from every future dispatch argmin.
+            let grp = &mut self.groups[g];
+            let drained = grp.running[w].is_some() as u32 + grp.waiting[w].len() as u32;
+            grp.busy -= drained;
+            grp.occ[w] = u32::MAX;
         }
         let mut tgt = g;
         if let Some(qr) = self.groups[g].running[w].take() {
@@ -1482,7 +1866,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         }
         q.push(
             now + self.cfg.resilience.takeover_delay,
-            Ev::Fault(FaultEv::Takeover(g)),
+            Ev::Fault(FaultEv::Takeover(g as u32)),
         );
         self.fault_mark(g, now, 2.0);
     }
@@ -1512,7 +1896,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         while let Some(qr) = self.groups[g].netrx.pop_front() {
             self.tel
                 .span_point(qr.idx as u32, span::FAULT_RESTEER, h as u32, now);
-            self.groups[h].netrx.push_back(qr);
+            self.groups[h].push_netrx(qr);
             if let Some(fs) = &mut self.faults {
                 fs.stats.resteered_requests += 1;
             }
@@ -1543,7 +1927,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             }
             (src, std::mem::take(&mut fs.pending[id].descriptors))
         };
-        self.groups[src].send_inflight = self.groups[src].send_inflight.saturating_sub(1);
+        self.cold[src].send_inflight = self.cold[src].send_inflight.saturating_sub(1);
         let mut tgt = src;
         for d in descriptors {
             tgt = self.resteer(src, d.trace_idx, true, now);
@@ -1564,13 +1948,25 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         // 0. Elided control plane: fold in UPDATEs whose events would have
         //    popped before this tick. (No-op in EventDriven mode — the
         //    mailbox stays empty and q_view is written by Msg events.)
-        self.drain_mailbox(g, now);
+        if self.upd_fast {
+            self.drain_update_log_fast(now);
+        } else if self.upd_log_mode {
+            // Fold check rides the drain (the log grows ≤ 1 record per
+            // tick); folding first is harmless — it applies exactly the
+            // records this drain's cutoff would pass anyway.
+            if self.upd_log.len() >= self.upd_fold_at {
+                self.fold_update_log(now);
+            }
+            self.drain_update_log(g, now);
+        } else {
+            self.drain_mailbox(g, now);
+        }
 
         // 1. Refresh the load estimate from the arrival counter.
         let arrivals = self.groups[g].arrivals_since_tick;
         self.groups[g].arrivals_since_tick = 0;
-        self.groups[g].estimator.observe(arrivals, cfg.period);
-        let offered = self.groups[g].estimator.offered_erlangs();
+        self.cold[g].estimator.observe(arrivals, cfg.period);
+        let offered = self.cold[g].estimator.offered_erlangs();
 
         // 2. Threshold from the prediction model at the measured load.
         let threshold = cfg.threshold.threshold(cfg.workers_per_group(), offered);
@@ -1581,15 +1977,11 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         if self.tel.enabled() {
             let ids = self.probe_ids[g];
             let grp = &self.groups[g];
-            let worker_q: usize = (0..grp.running.len())
-                .map(|w| {
-                    grp.running[w].is_some() as usize + grp.waiting[w].len() + grp.in_flight[w]
-                })
-                .sum();
             self.tel.probe(ids.netrx, now, grp.netrx.len() as f64);
-            self.tel.probe(ids.workers, now, worker_q as f64);
+            self.tel.probe(ids.workers, now, grp.busy as f64);
             self.tel.probe(ids.ewma, now, offered);
-            self.tel.probe(ids.send, now, grp.send_inflight as f64);
+            self.tel
+                .probe(ids.send, now, self.cold[g].send_inflight as f64);
             self.tel.probe(ids.recv, now, grp.recv_fifo as f64);
         }
 
@@ -1603,12 +1995,18 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             grp.mgr_busy_until = grp.mgr_busy_until.max(send_time);
         }
 
-        // 4. Snapshot q: own queue live, remote from UPDATE-fed PR view.
+        // 4. Snapshot q: own queue live, remote from UPDATE-fed PR view
+        //    (the shared one in fast mode — every group's view coincides).
         let own_len = self.groups[g].netrx.len() as u32;
-        self.groups[g].q_view[g] = own_len;
         let q_view = &mut self.scratch.q_view;
         q_view.clear();
-        q_view.extend_from_slice(&self.groups[g].q_view);
+        if self.upd_fast {
+            q_view.extend_from_slice(&self.upd_gq);
+            q_view[g] = own_len;
+        } else {
+            self.cold[g].q_view[g] = own_len;
+            q_view.extend_from_slice(&self.cold[g].q_view);
+        }
 
         // Under tenancy, UPDATE and MIGRATE stay within the tenant's
         // partition of groups; otherwise every manager is a peer. The peer
@@ -1619,8 +2017,30 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         // 5. Broadcast UPDATE to every other (peer) manager. The elided
         //    path parks the record in the destination's mailbox under the
         //    seq the legacy event would occupy; same physics, zero events.
+        // In update-log mode the whole fan-out collapses to one shared log
+        // record: the block reservation advances the seq counter exactly as
+        // the per-peer single reservations would (nothing between them ever
+        // touches the counter), and each destination reconstructs its own
+        // `(deliver_at, seq)` from the record at drain time. O(1) per tick
+        // instead of O(groups).
         let elided = self.cfg.control_plane == ControlPlane::Elided;
-        for idx in 0..self.topo[g].update_offsets.len() {
+        if self.upd_log_mode {
+            let n = self.topo[g].update_offsets.len() as u64;
+            let base_seq = q.reserve_seqs(n);
+            self.upd_log.push_back(UpdRec {
+                send_time,
+                base_seq,
+                src: g as u32,
+                queue_len: own_len,
+            });
+            self.stats.update_messages += n;
+        }
+        let fanout = if self.upd_log_mode {
+            0 // logged above in one record
+        } else {
+            self.topo[g].update_offsets.len()
+        };
+        for idx in 0..fanout {
             // Wire latency + port stagger were folded per slot at
             // construction (`GroupTopo::update_offsets`).
             let (dst, offset) = self.topo[g].update_offsets[idx];
@@ -1653,7 +2073,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             }
             if elided {
                 let seq = q.reserve_seqs(1);
-                self.groups[dst].mailbox.push(MailEntry {
+                self.cold[dst].mailbox.push(MailEntry {
                     deliver_at,
                     seq,
                     src: g as u32,
@@ -1661,6 +2081,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 });
             } else {
                 push_msg(
+                    &mut self.msg_slab,
                     q,
                     deliver_at,
                     dst,
@@ -1679,14 +2100,14 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
         // then be a pure no-op (an idle queue plans no migrations), so the
         // timer can be elided and fast-forwarded instead (Elided mode).
         let quiescent = elided && arrivals == 0 && own_len == 0 && {
+            // `busy == 0` covers running, waiting and in-transit work in one
+            // maintained counter — exactly the three scans it replaced.
             let grp = &self.groups[g];
             grp.netrx.is_empty()
-                && grp.send_inflight == 0
+                && grp.busy == 0
                 && grp.recv_fifo == 0
                 && !grp.dispatch_pending
-                && grp.in_flight.iter().all(|&n| n == 0)
-                && grp.running.iter().all(|r| r.is_none())
-                && grp.waiting.iter().all(|w| w.is_empty())
+                && self.cold[g].send_inflight == 0
         };
 
         // Predict-only mode: mark everything queued beyond T as a predicted
@@ -1733,33 +2154,100 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 }
             }
         } else {
-            let local_q = &mut self.scratch.local_q;
-            local_q.clear();
-            local_q.extend(peers.iter().map(|&j| q_view[j]));
-            let me_local = self.topo[g].me_local;
-            match cfg.patterns {
-                crate::config::PatternPolicy::All => plan_migrations_into(
-                    me_local,
-                    local_q,
+            let use_patterns = matches!(cfg.patterns, crate::config::PatternPolicy::All);
+            if self.upd_fast {
+                // Fast mode: every group plans over the shared view plus a
+                // one-entry overlay (its live queue), so the extreme
+                // ranking is computed once per tick instant and patched
+                // per group in O(concurrency) instead of rescanned in
+                // O(groups). The shared view is stable within an instant —
+                // records broadcast at it only drain at later ones.
+                if self.scratch.ext_instant != now {
+                    self.scratch.shared_ext.rank(&self.upd_gq, cfg.concurrency);
+                    self.scratch.ext_instant = now;
+                }
+                plan_patched_into(
+                    g,
+                    own_len,
+                    q_view.len(),
+                    self.upd_gq[g],
+                    &self.scratch.shared_ext,
                     threshold,
                     cfg.bulk,
                     cfg.concurrency,
+                    use_patterns,
                     &mut self.scratch.plan,
                     orders,
-                ),
-                crate::config::PatternPolicy::ThresholdOnly => plan_threshold_only_into(
-                    me_local,
-                    local_q,
-                    threshold,
-                    cfg.bulk,
-                    cfg.concurrency,
-                    &mut self.scratch.plan,
-                    orders,
-                ),
-            }
-            // Map local destination indices back to global group ids.
-            for o in orders.iter_mut() {
-                o.dst = peers[o.dst];
+                );
+                #[cfg(debug_assertions)]
+                {
+                    let oracle = &mut self.scratch.oracle_orders;
+                    if use_patterns {
+                        plan_migrations_into(
+                            g,
+                            q_view,
+                            threshold,
+                            cfg.bulk,
+                            cfg.concurrency,
+                            &mut self.scratch.oracle_plan,
+                            oracle,
+                        );
+                    } else {
+                        plan_threshold_only_into(
+                            g,
+                            q_view,
+                            threshold,
+                            cfg.bulk,
+                            cfg.concurrency,
+                            &mut self.scratch.oracle_plan,
+                            oracle,
+                        );
+                    }
+                    debug_assert_eq!(
+                        orders, oracle,
+                        "patched planner diverged from the full-scan oracle"
+                    );
+                }
+            } else {
+                let identity = peers.len() == q_view.len();
+                let (me_local, plan_q): (usize, &[u32]) = if identity {
+                    // No tenancy: the peer list is the identity permutation,
+                    // so plan straight over the view — no projected copy, no
+                    // index remap afterwards.
+                    (g, q_view)
+                } else {
+                    let local_q = &mut self.scratch.local_q;
+                    local_q.clear();
+                    local_q.extend(peers.iter().map(|&j| q_view[j]));
+                    (self.topo[g].me_local, local_q)
+                };
+                if use_patterns {
+                    plan_migrations_into(
+                        me_local,
+                        plan_q,
+                        threshold,
+                        cfg.bulk,
+                        cfg.concurrency,
+                        &mut self.scratch.plan,
+                        orders,
+                    );
+                } else {
+                    plan_threshold_only_into(
+                        me_local,
+                        plan_q,
+                        threshold,
+                        cfg.bulk,
+                        cfg.concurrency,
+                        &mut self.scratch.plan,
+                        orders,
+                    );
+                }
+                if !identity {
+                    // Map local destination indices back to global ids.
+                    for o in orders.iter_mut() {
+                        o.dst = peers[o.dst];
+                    }
+                }
             }
         }
         let mut migrate_sends = 0u64;
@@ -1784,17 +2272,20 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 self.stats.guard_blocked += 1;
                 continue;
             }
-            if self.groups[g].send_inflight >= 16 {
+            if self.cold[g].send_inflight >= 16 {
                 break; // send FIFO full
             }
-            stage_from_tail(
-                &mut self.groups[g].netrx,
-                self.trace,
-                order.count,
-                &mut self.scratch.staged,
-                &mut self.scratch.skipped,
-                emergency,
-            );
+            {
+                let grp = &mut self.groups[g];
+                stage_from_tail(
+                    &mut grp.netrx,
+                    self.trace,
+                    order.count,
+                    &mut self.scratch.staged,
+                    &mut grp.stage_hint,
+                    emergency,
+                );
+            }
             if self.scratch.staged.is_empty() {
                 continue;
             }
@@ -1823,7 +2314,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                     token = id as u64 + 1;
                     q.push(
                         send_time + injection_stagger(i) + tmo,
-                        Ev::Fault(FaultEv::MigrateTimeout(id)),
+                        Ev::Fault(FaultEv::MigrateTimeout(id as u32)),
                     );
                 }
                 if emergency {
@@ -1844,11 +2335,12 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             // this send keeps its original injection slot rather than
             // compacting forward (see `injection_stagger`).
             let stagger = injection_stagger(i);
-            self.groups[g].send_inflight += 1;
+            self.cold[g].send_inflight += 1;
             self.stats.migrate_messages += 1;
             migrate_sends += 1;
             send_msg_via(
                 &mut self.faults,
+                &mut self.msg_slab,
                 q,
                 send_time + lat + stagger,
                 order.dst,
@@ -1935,8 +2427,8 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             Message::Update { src, queue_len } => {
                 // EventDriven only; the elided path never creates Update
                 // events, and dormancy exists only in Elided mode.
-                debug_assert!(!self.groups[dst].dormant, "update at a dormant group");
-                self.groups[dst].q_view[src] = queue_len;
+                debug_assert!(!self.cold[dst].dormant, "update at a dormant group");
+                self.cold[dst].q_view[src] = queue_len;
                 None
             }
             Message::Migrate {
@@ -1990,7 +2482,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 // The migrator drains the FIFO into the MRs/NetRX at
                 // register speed (~1ns per descriptor).
                 let drain = SimDuration::from_ns(1) * descriptors.len() as u64;
-                q.push(now + drain, Ev::RecvDrained(dst));
+                q.push(now + drain, Ev::RecvDrained(dst as u32));
                 self.stats.migrated_requests += descriptors.len() as u64;
                 self.stats.migrated_per_group[dst] += descriptors.len() as u64;
                 let accepted = descriptors.len();
@@ -1999,7 +2491,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                         .span_point(d.trace_idx as u32, span::MIGRATE_LAND, dst as u32, now);
                     let mut qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
                     qr.migrated = true;
-                    self.groups[dst].netrx.push_back(qr);
+                    self.groups[dst].push_netrx(qr);
                 }
                 let ack = Message::Ack {
                     src: dst,
@@ -2013,7 +2505,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
             Message::Ack { token, .. } => {
                 // The sender keeps send_inflight > 0 until this arrives, so
                 // it can never have gone dormant in between.
-                debug_assert!(!self.groups[dst].dormant, "ack at a dormant group");
+                debug_assert!(!self.cold[dst].dormant, "ack at a dormant group");
                 if token != 0 {
                     if let Some(fs) = &mut self.faults {
                         let p = &mut fs.pending[token as usize - 1];
@@ -2026,7 +2518,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                         p.descriptors.clear();
                     }
                 }
-                self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
+                self.cold[dst].send_inflight = self.cold[dst].send_inflight.saturating_sub(1);
                 None
             }
             Message::Nack {
@@ -2034,7 +2526,7 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 descriptors,
                 token,
             } => {
-                debug_assert!(!self.groups[dst].dormant, "nack at a dormant group");
+                debug_assert!(!self.cold[dst].dormant, "nack at a dormant group");
                 if token != 0 {
                     if let Some(fs) = &mut self.faults {
                         let p = &mut fs.pending[token as usize - 1];
@@ -2054,12 +2546,12 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
                 }
                 // Rejected migration: requests stay at the source (restored
                 // from the MRs). They remain eligible for future migration.
-                self.groups[dst].send_inflight = self.groups[dst].send_inflight.saturating_sub(1);
+                self.cold[dst].send_inflight = self.cold[dst].send_inflight.saturating_sub(1);
                 for d in descriptors {
                     self.tel
                         .span_point(d.trace_idx as u32, span::NACK_RETURN, dst as u32, now);
                     let qr = QueuedRequest::new(d.trace_idx, self.total_cost(d.trace_idx), now);
-                    self.groups[dst].netrx.push_back(qr);
+                    self.groups[dst].push_netrx(qr);
                 }
                 Some(dst)
             }
@@ -2073,12 +2565,13 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {
             Ev::Enqueue(g, idx) => {
+                let idx = idx as usize;
                 // NIC steering is oblivious to manager failures until the
                 // takeover rewrites the steering table: arrivals aimed at a
                 // dead manager land at the group that adopted its queue.
                 let g = {
-                    let lg = self.live_group(g);
-                    if lg != g {
+                    let lg = self.live_group(g as usize);
+                    if lg != g as usize {
                         if let Some(fs) = &mut self.faults {
                             fs.stats.redirected_arrivals += 1;
                         }
@@ -2091,19 +2584,21 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                 let (env, grp, mut sink) = quiet_parts!(self, g, q);
                 env.enqueue(g, idx, now, grp, &mut sink);
             }
-            Ev::Deliver(g, w, qr) => {
+            Ev::Deliver(g, w, h) => {
+                let (g, w) = (g as usize, w as usize);
                 // A group with work in flight can never be dormant.
-                debug_assert!(!self.groups[g].dormant, "deliver at a dormant group");
+                debug_assert!(!self.cold[g].dormant, "deliver at a dormant group");
                 if self.dead_of(g).get(w).copied().unwrap_or(false) {
                     // The worker died while this descriptor was in transit:
                     // bounce it back to whichever NetRX now serves the group.
-                    self.groups[g].in_flight[w] -= 1;
+                    let qr = self.groups[g].slab.take(h);
+                    self.groups[g].busy -= 1;
                     let tgt = self.live_group(g);
                     self.tel
                         .span_point(qr.idx as u32, span::FAULT_RESTEER, tgt as u32, now);
                     let mut back = QueuedRequest::new(qr.idx, self.total_cost(qr.idx), now);
                     back.migrated = qr.migrated;
-                    self.groups[tgt].netrx.push_back(back);
+                    self.groups[tgt].push_netrx(back);
                     if let Some(fs) = &mut self.faults {
                         fs.stats.resteered_requests += 1;
                     }
@@ -2111,32 +2606,38 @@ impl<S: TelemetrySink> World for AcWorld<'_, S> {
                     return;
                 }
                 let (env, grp, mut sink) = quiet_parts!(self, g, q);
-                env.deliver(g, w, qr, now, grp, &mut sink);
+                env.deliver(g, w, h, now, grp, &mut sink);
             }
             Ev::WorkerDone(g, w, epoch) => {
+                let (g, w) = (g as usize, w as usize);
                 // A completion from before the worker's death is stale: the
                 // request it would complete was already resteered.
                 if epoch != self.epoch_of(g, w) {
                     return;
                 }
-                debug_assert!(!self.groups[g].dormant, "completion at a dormant group");
+                debug_assert!(!self.cold[g].dormant, "completion at a dormant group");
                 let (env, grp, mut sink) = quiet_parts!(self, g, q);
                 env.worker_done(g, w, now, grp, &mut sink);
             }
             Ev::MgrOpDone(g) => {
+                let g = g as usize;
                 let (env, grp, mut sink) = quiet_parts!(self, g, q);
                 env.mgr_op_done(g, now, grp, &mut sink);
             }
-            Ev::Tick(g) => self.runtime_tick(g, now, q),
-            Ev::Msg { dst, seq, msg } => self.handle_msg(dst, seq, msg, now, q),
+            Ev::Tick(g) => self.runtime_tick(g as usize, now, q),
+            Ev::Msg { dst, seq, msg } => {
+                let msg = self.msg_slab.take(msg);
+                self.handle_msg(dst as usize, seq, msg, now, q);
+            }
             Ev::RecvDrained(g) => {
+                let g = g as usize;
                 self.groups[g].recv_fifo = self.groups[g].recv_fifo.saturating_sub(1);
             }
             Ev::Fault(fe) => match fe {
-                FaultEv::WorkerFail(g, w) => self.fault_worker_fail(g, w, now, q),
-                FaultEv::ManagerFail(g) => self.fault_manager_fail(g, now, q),
-                FaultEv::Takeover(g) => self.fault_takeover(g, now, q),
-                FaultEv::MigrateTimeout(id) => self.fault_migrate_timeout(id, now, q),
+                FaultEv::WorkerFail(g, w) => self.fault_worker_fail(g as usize, w as usize, now, q),
+                FaultEv::ManagerFail(g) => self.fault_manager_fail(g as usize, now, q),
+                FaultEv::Takeover(g) => self.fault_takeover(g as usize, now, q),
+                FaultEv::MigrateTimeout(id) => self.fault_migrate_timeout(id as usize, now, q),
             },
         }
     }
@@ -2425,10 +2926,64 @@ mod tests {
 
     fn stage(netrx: &mut VecDeque<QueuedRequest>, trace: &Trace, count: usize) -> Vec<Descriptor> {
         let mut staged = Vec::new();
-        let mut skipped = Vec::new();
-        stage_from_tail(netrx, trace, count, &mut staged, &mut skipped, false);
-        assert!(skipped.is_empty(), "skipped buffer must be drained back");
+        let mut hint = 0;
+        stage_from_tail(netrx, trace, count, &mut staged, &mut hint, false);
+        assert_eq!(
+            hint as usize,
+            netrx
+                .iter()
+                .rev()
+                .take_while(|q| q.migrated)
+                .count()
+                .min(hint as usize),
+            "returned hint must only cover the migrated tail run"
+        );
         staged
+    }
+
+    #[test]
+    fn stage_hint_accumulates_and_short_circuits() {
+        let t = staging_trace(6);
+        // head -> tail: 0, 1(m), 2, 3(m), 4(m), 5
+        let mut netrx: VecDeque<_> = [
+            qr(0, false),
+            qr(1, true),
+            qr(2, false),
+            qr(3, true),
+            qr(4, true),
+            qr(5, false),
+        ]
+        .into_iter()
+        .collect();
+        let mut staged = Vec::new();
+        let mut hint = 0;
+        stage_from_tail(&mut netrx, &t, 2, &mut staged, &mut hint, false);
+        assert_eq!(
+            staged.iter().map(|d| d.trace_idx).collect::<Vec<_>>(),
+            vec![5, 2]
+        );
+        // Removing 5 and 2 collapsed the walked-over migrated entries into
+        // one contiguous tail run, which the hint now covers exactly.
+        assert_eq!(
+            netrx.iter().map(|q| q.idx).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
+        assert_eq!(hint, 2, "walked-over migrated entries feed the hint");
+        // Second staging starts below the hinted run and finds request 0.
+        stage_from_tail(&mut netrx, &t, 2, &mut staged, &mut hint, false);
+        assert_eq!(
+            staged.iter().map(|d| d.trace_idx).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(hint, 3, "the whole remaining queue is known migrated");
+        // Third staging is an O(1) no-op: hint covers the queue.
+        stage_from_tail(&mut netrx, &t, 2, &mut staged, &mut hint, false);
+        assert!(staged.is_empty());
+        assert_eq!(netrx.len(), 3);
+        // An emergency (re-migration allowed) drain ignores and resets it.
+        stage_from_tail(&mut netrx, &t, 8, &mut staged, &mut hint, true);
+        assert_eq!(staged.len(), 3);
+        assert_eq!(hint, 0);
     }
 
     #[test]

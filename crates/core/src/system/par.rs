@@ -203,7 +203,6 @@ fn run_shard(
         cfg,
         intra_transfer: intra,
         dispatch_op,
-        dead: &[],
         epochs: &[],
         mgr_dead: false,
         inflate: false,
@@ -240,16 +239,24 @@ fn run_shard(
             tel_enabled,
         };
         match ev {
-            Ev::Enqueue(g, idx) => env.enqueue(g, idx, time, &mut sh.groups[g - sh.lo], &mut sink),
-            Ev::Deliver(g, w, qr) => {
-                env.deliver(g, w, qr, time, &mut sh.groups[g - sh.lo], &mut sink)
+            Ev::Enqueue(g, idx) => {
+                let (g, idx) = (g as usize, idx as usize);
+                env.enqueue(g, idx, time, &mut sh.groups[g - sh.lo], &mut sink)
+            }
+            Ev::Deliver(g, w, h) => {
+                let (g, w) = (g as usize, w as usize);
+                env.deliver(g, w, h, time, &mut sh.groups[g - sh.lo], &mut sink)
             }
             Ev::WorkerDone(g, w, _epoch) => {
+                let (g, w) = (g as usize, w as usize);
                 env.worker_done(g, w, time, &mut sh.groups[g - sh.lo], &mut sink)
             }
-            Ev::MgrOpDone(g) => env.mgr_op_done(g, time, &mut sh.groups[g - sh.lo], &mut sink),
+            Ev::MgrOpDone(g) => {
+                let g = g as usize;
+                env.mgr_op_done(g, time, &mut sh.groups[g - sh.lo], &mut sink)
+            }
             Ev::RecvDrained(g) => {
-                let grp = &mut sh.groups[g - sh.lo];
+                let grp = &mut sh.groups[g as usize - sh.lo];
                 grp.recv_fifo = grp.recv_fifo.saturating_sub(1);
             }
             Ev::Tick(_) | Ev::Msg { .. } | Ev::Fault(_) => {
@@ -373,8 +380,9 @@ fn is_quiet<S: TelemetrySink>(ev: &Ev, world: &AcWorld<'_, S>) -> bool {
         // An arrival at a dormant group must wake it (replaying elided
         // ticks) — a serial-only concern. Dormancy can't change inside a
         // window (only ticks and wakes flip it, and both cut), so this
-        // collection-time check holds for the whole window.
-        Ev::Enqueue(g, _) => !world.groups[g].dormant,
+        // collection-time check holds for the whole window. Dormancy lives
+        // in the cold plane, read here on the main thread only.
+        Ev::Enqueue(g, _) => !world.cold[g as usize].dormant,
         Ev::Deliver(..) | Ev::WorkerDone(..) | Ev::MgrOpDone(_) | Ev::RecvDrained(_) => true,
         Ev::Tick(_) | Ev::Msg { .. } | Ev::Fault(_) => false,
     }
@@ -387,7 +395,7 @@ fn group_of(ev: &Ev) -> usize {
         | Ev::Deliver(g, ..)
         | Ev::WorkerDone(g, ..)
         | Ev::MgrOpDone(g)
-        | Ev::RecvDrained(g) => g,
+        | Ev::RecvDrained(g) => g as usize,
         Ev::Tick(_) | Ev::Msg { .. } | Ev::Fault(_) => {
             unreachable!("non-quiet event has no home partition")
         }

@@ -114,7 +114,6 @@ macro_rules! timeline_parts {
                 cfg: $w.cfg,
                 intra_transfer: &$w.intra_transfer,
                 dispatch_op: $w.dispatch_op,
-                dead: &[],
                 epochs: &[],
                 mgr_dead: false,
                 inflate: false,
@@ -241,20 +240,23 @@ fn handle_global<S: TelemetrySink>(
 ) {
     match ev {
         Ev::Enqueue(g, idx) => {
+            let (g, idx) = (g as usize, idx as usize);
             // Healthy runs have no takeover redirection: `live_group` is the
             // identity. Arrivals still wake dormant groups first.
             w.wake_group(g, now, None, q);
             let (env, grp, mut sink) = timeline_parts!(w, g, q, tl);
             env.enqueue(g, idx, now, grp, &mut sink);
         }
-        Ev::Tick(g) => w.runtime_tick(g, now, q),
+        Ev::Tick(g) => w.runtime_tick(g as usize, now, q),
         Ev::Msg { dst, seq, msg } => {
-            if let Some(g) = w.handle_msg_inner(dst, seq, msg, now, q) {
+            let msg = w.msg_slab.take(msg);
+            if let Some(g) = w.handle_msg_inner(dst as usize, seq, msg, now, q) {
                 let (env, grp, mut sink) = timeline_parts!(w, g, q, tl);
                 env.try_dispatch(g, now, grp, &mut sink);
             }
         }
         Ev::RecvDrained(g) => {
+            let g = g as usize;
             w.groups[g].recv_fifo = w.groups[g].recv_fifo.saturating_sub(1);
         }
         Ev::Deliver(..) | Ev::WorkerDone(..) | Ev::MgrOpDone(..) => {
@@ -275,18 +277,21 @@ fn handle_batched<S: TelemetrySink>(
     tl: &mut Timeline<Ev>,
 ) {
     match ev {
-        Ev::Deliver(g, wk, qr) => {
-            debug_assert!(!w.groups[g].dormant, "deliver at a dormant group");
+        Ev::Deliver(g, wk, h) => {
+            let (g, wk) = (g as usize, wk as usize);
+            debug_assert!(!w.cold[g].dormant, "deliver at a dormant group");
             let (env, grp, mut sink) = timeline_parts!(w, g, q, tl);
-            env.deliver(g, wk, qr, now, grp, &mut sink);
+            env.deliver(g, wk, h, now, grp, &mut sink);
         }
         Ev::WorkerDone(g, wk, epoch) => {
+            let (g, wk) = (g as usize, wk as usize);
             debug_assert_eq!(epoch, 0, "healthy workers never change epoch");
-            debug_assert!(!w.groups[g].dormant, "completion at a dormant group");
+            debug_assert!(!w.cold[g].dormant, "completion at a dormant group");
             let (env, grp, mut sink) = timeline_parts!(w, g, q, tl);
             env.worker_done(g, wk, now, grp, &mut sink);
         }
         Ev::MgrOpDone(g) => {
+            let g = g as usize;
             let (env, grp, mut sink) = timeline_parts!(w, g, q, tl);
             env.mgr_op_done(g, now, grp, &mut sink);
         }

@@ -78,6 +78,24 @@ fn run_elided_backlog(trace: &Trace) -> (u64, u64) {
     (ALLOC.allocations() - before, r.summary.events)
 }
 
+/// Per-event worker plane: every delivery and completion flows through the
+/// main calendar queue as a small Copy event holding a slab [`Handle`]
+/// (`simcore::slab`), so this regime exercises the request arena's
+/// insert/take cycle on every request. The slab grows to the high-water
+/// mark of concurrently in-flight payloads during warmup and must then
+/// recycle slots through its free list — steady state stays at the same
+/// zero per-event budget as the elided regimes.
+fn run_slab_arena(trace: &Trace) -> (u64, u64) {
+    let mean = SimDuration::from_ns(850);
+    let mut cfg = AcConfig::ac_int(4, 16, mean);
+    cfg.worker_plane = WorkerPlane::EventDriven;
+    let mut ac = Altocumulus::new(cfg);
+    let before = ALLOC.allocations();
+    let r = ac.run_detailed(trace);
+    assert_eq!(r.system.completions.len(), trace.len());
+    (ALLOC.allocations() - before, r.summary.events)
+}
+
 fn bimodal_trace(n: usize, load: f64) -> Trace {
     let dist = ServiceDistribution::Bimodal {
         short: SimDuration::from_ns(500),
@@ -156,6 +174,18 @@ fn main() {
         &bimodal_trace(60_000, 0.6),
         0.01,
         run_elided_backlog,
+    );
+    // Slab request arena under the per-event oracle: every request's
+    // metadata is parked in the group arena and its Deliver/WorkerDone
+    // events travel the main queue as Copy handles. After warmup the
+    // arena's free list must absorb all churn — growth only to the
+    // high-water mark, then flat.
+    assert_pinned_by(
+        "slab-arena",
+        &bimodal_trace(20_000, 0.6),
+        &bimodal_trace(60_000, 0.6),
+        0.01,
+        run_slab_arena,
     );
     // Telemetry enabled: the recorder's span log doubles O(log n) times and
     // each rare MIGRATE still allocates its descriptor payload; everything

@@ -9,7 +9,7 @@
 //! - preemption costs a context switch / IPI, so the quantum is ~5 µs;
 //! - one core is lost to dispatching.
 
-use crate::common::{QueuedRequest, RpcSystem, SystemResult};
+use crate::common::{OccTable, QueuedRequest, RpcSystem, SystemResult};
 use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
@@ -97,6 +97,10 @@ struct CentralWorld<'t> {
     central: VecDeque<QueuedRequest>,
     /// Worker slot: None = idle, Some = reserved or running.
     busy: Vec<Option<QueuedRequest>>,
+    /// Hot plane: 0/1 busy flags mirrored from `busy`, so the dispatcher's
+    /// first-idle scan reads one dense word per worker instead of walking
+    /// the descriptor slots.
+    occ: OccTable,
     dispatcher_free_at: SimTime,
     result: SystemResult,
 }
@@ -109,12 +113,14 @@ impl CentralWorld<'_> {
         if self.central.is_empty() {
             return;
         }
-        let Some(widx) = self.busy.iter().position(Option::is_none) else {
+        let Some(widx) = self.occ.first_idle(0..self.busy.len()) else {
             return;
         };
+        debug_assert!(self.busy[widx].is_none());
         let qr = self.central.pop_front().expect("non-empty central queue");
         // Reserve the worker for the in-flight delivery.
         self.busy[widx] = Some(qr);
+        self.occ.incr(widx);
         let done_at = now + self.cfg.dispatch_cost;
         self.dispatcher_free_at = done_at;
         q.push(done_at, Ev::Deliver(widx, qr));
@@ -150,6 +156,7 @@ impl World for CentralWorld<'_> {
                 };
                 qr.remaining = qr.remaining.saturating_sub(ran);
                 if qr.remaining.is_zero() {
+                    self.occ.decr(widx);
                     let req = &self.trace.requests()[qr.idx];
                     self.result.record(Completion {
                         id: req.id,
@@ -170,6 +177,7 @@ impl World for CentralWorld<'_> {
             }
             Ev::WorkerFree(widx) => {
                 self.busy[widx] = None;
+                self.occ.decr(widx);
                 self.try_dispatch(now, q);
             }
             Ev::DispatcherFree => {
@@ -208,6 +216,7 @@ impl RpcSystem for CentralDispatch {
             cfg: self.cfg.clone(),
             central: VecDeque::new(),
             busy: vec![None; self.cfg.cores - 1],
+            occ: OccTable::new(self.cfg.cores - 1),
             dispatcher_free_at: SimTime::ZERO,
             result: SystemResult::with_capacity(trace.len()),
         };

@@ -118,6 +118,92 @@ pub trait RpcSystem {
     fn run(&mut self, trace: &Trace) -> SystemResult;
 }
 
+/// Dense per-core occupancy plane — the *hot* state every scheduling
+/// decision scans, split from the cold per-core payloads (queues,
+/// in-service descriptors, config) exactly like the ALTOCUMULUS engine's
+/// group hot/cold planes.
+///
+/// One `u32` per core, so a whole 16-core domain's occupancy fits in a
+/// single cache line; the payload vectors are only touched for the one
+/// core a decision lands on. Dead cores are folded into the same word as
+/// a sentinel, so liveness checks cost no second array.
+///
+/// All counts are maintained incrementally by the caller; the table has no
+/// opinion about what "occupancy" means (running + local + in-flight for
+/// JBSQ, a 0/1 busy flag for the dispatch/stealing models).
+#[derive(Debug, Clone)]
+pub struct OccTable {
+    occ: Vec<u32>,
+}
+
+/// Sentinel occupancy of a failed core: never under any bound, never the
+/// minimum while any live core exists.
+const DEAD: u32 = u32::MAX;
+
+impl OccTable {
+    /// A table of `n` idle, live cores.
+    pub fn new(n: usize) -> Self {
+        OccTable { occ: vec![0; n] }
+    }
+
+    /// Current occupancy of a live core.
+    pub fn get(&self, core: usize) -> u32 {
+        debug_assert_ne!(self.occ[core], DEAD, "occupancy of a dead core");
+        self.occ[core]
+    }
+
+    /// Adds one to a live core's occupancy.
+    pub fn incr(&mut self, core: usize) {
+        debug_assert_ne!(self.occ[core], DEAD, "incr on a dead core");
+        self.occ[core] += 1;
+    }
+
+    /// Removes one from a live core's occupancy.
+    pub fn decr(&mut self, core: usize) {
+        debug_assert_ne!(self.occ[core], DEAD, "decr on a dead core");
+        debug_assert_ne!(self.occ[core], 0, "occupancy underflow");
+        self.occ[core] -= 1;
+    }
+
+    /// Marks a core fail-stopped: it drops out of every scan from now on.
+    pub fn mark_dead(&mut self, core: usize) {
+        self.occ[core] = DEAD;
+    }
+
+    /// Whether `core` has been marked dead.
+    pub fn is_dead(&self, core: usize) -> bool {
+        self.occ[core] == DEAD
+    }
+
+    /// First core in `range` whose occupancy is minimal among those below
+    /// `bound`, or `None` when every live core is at the bound. Ties
+    /// resolve to the lowest index — the same answer as
+    /// `range.filter(|c| live && occ < bound).min_by_key(occ)` — and the
+    /// scan exits early on a zero, so a mostly-idle mesh answers in O(1).
+    pub fn argmin_under(&self, range: std::ops::Range<usize>, bound: u32) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for core in range {
+            let occ = self.occ[core];
+            if occ >= bound {
+                continue; // covers DEAD: the sentinel is never under a bound
+            }
+            if occ == 0 {
+                return Some(core);
+            }
+            if best.is_none_or(|(b, _)| occ < b) {
+                best = Some((occ, core));
+            }
+        }
+        best.map(|(_, core)| core)
+    }
+
+    /// First idle live core in `range` (occupancy zero), or `None`.
+    /// Equivalent to `range.position(is_idle)` at the same early-exit cost.
+    pub fn first_idle(&self, range: std::ops::Range<usize>) -> Option<usize> {
+        self.argmin_under(range, 1)
+    }
+}
+
 /// The total on-core cost of executing `req`: stack receive + handler + stack
 /// transmit, with a fixed per-request scheduling overhead added.
 pub fn on_core_cost(
@@ -182,6 +268,40 @@ mod tests {
         assert_eq!(v[0], Some(SimDuration::from_ns(90)));
         assert_eq!(v[1], None);
         assert_eq!(v[2], Some(SimDuration::from_ns(50)));
+    }
+
+    #[test]
+    fn occ_table_argmin_is_first_minimal_under_bound() {
+        let mut t = OccTable::new(4);
+        t.incr(0);
+        t.incr(0);
+        t.incr(1);
+        t.incr(2);
+        t.incr(3);
+        // occ = [2, 1, 1, 1]: first minimal under bound 2 is core 1.
+        assert_eq!(t.argmin_under(0..4, 2), Some(1));
+        // Bound 1 excludes everything.
+        assert_eq!(t.argmin_under(0..4, 1), None);
+        // Sub-range scans stay within the range.
+        assert_eq!(t.argmin_under(2..4, 2), Some(2));
+        t.decr(3);
+        assert_eq!(t.first_idle(0..4), Some(3));
+    }
+
+    #[test]
+    fn occ_table_dead_cores_drop_out() {
+        let mut t = OccTable::new(3);
+        t.mark_dead(0);
+        assert!(t.is_dead(0));
+        assert!(!t.is_dead(1));
+        // The dead core is never a candidate, whatever the bound.
+        assert_eq!(t.first_idle(0..3), Some(1));
+        t.incr(1);
+        t.incr(2);
+        assert_eq!(t.argmin_under(0..3, u32::MAX - 1), Some(1));
+        t.mark_dead(1);
+        t.mark_dead(2);
+        assert_eq!(t.argmin_under(0..3, u32::MAX - 1), None);
     }
 
     #[test]

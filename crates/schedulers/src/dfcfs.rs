@@ -6,7 +6,7 @@
 //! load-oblivious — the paper's example of unpredictable tail latency under
 //! imbalance or dispersed service times.
 
-use crate::common::{on_core_cost, QueuedRequest, RpcSystem, SystemResult};
+use crate::common::{on_core_cost, OccTable, QueuedRequest, RpcSystem, SystemResult};
 use rand::rngs::StdRng;
 use rpcstack::nic::{NicModel, Steering, Transfer};
 use rpcstack::stack::StackModel;
@@ -111,8 +111,10 @@ struct DFcfsWorld<'t> {
     cfg: DFcfsConfig,
     queues: Vec<VecDeque<QueuedRequest>>,
     in_service: Vec<Option<QueuedRequest>>,
-    /// Dead-core flags; all false (and never read) on healthy runs.
-    dead: Vec<bool>,
+    /// Hot plane: 0/1 busy flags mirrored from `in_service`, with
+    /// fail-stopped cores folded in as the dead sentinel — the arrival
+    /// path's idle and liveness checks read this one dense word.
+    occ: OccTable,
     /// Elided worker plane: one `Done` class lane (scheduled at
     /// `now + on-core cost`, so near-sorted up to the service-time
     /// spread), merged with the main queue by `(time, seq)`. `None` runs
@@ -134,6 +136,7 @@ impl DFcfsWorld<'_> {
         // core/instant (bit-for-bit, see simcore::faults).
         let wall = self.cfg.faults.inflate(core, now, cost);
         self.in_service[core] = Some(qr);
+        self.occ.incr(core);
         match &mut self.timeline {
             // Seq reserved from the main queue at the exact instant the
             // oracle's push would claim it: the merged order is the
@@ -150,24 +153,26 @@ impl World for DFcfsWorld<'_> {
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {
             Ev::Enqueue(idx, core) => {
-                if self.dead[core] {
+                if self.occ.is_dead(core) {
                     // No rebalancing path exists: the request is lost.
                     return;
                 }
                 let req = &self.trace.requests()[idx];
                 let qr = QueuedRequest::new(idx, req.service, now);
-                if self.in_service[core].is_none() {
+                if self.occ.get(core) == 0 {
+                    debug_assert!(self.in_service[core].is_none());
                     self.start(core, qr, now, q);
                 } else {
                     self.queues[core].push_back(qr);
                 }
             }
             Ev::Done(core) => {
-                if self.dead[core] {
+                if self.occ.is_dead(core) {
                     // Stale completion from before the core's death.
                     return;
                 }
                 let qr = self.in_service[core].take().expect("Done on an idle core");
+                self.occ.decr(core);
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
                     id: req.id,
@@ -184,7 +189,7 @@ impl World for DFcfsWorld<'_> {
                 // Fail-stop: the running request and everything queued
                 // behind it are lost, as is everything the NIC steers here
                 // from now on.
-                self.dead[core] = true;
+                self.occ.mark_dead(core);
                 self.in_service[core] = None;
                 self.queues[core].clear();
             }
@@ -234,7 +239,7 @@ impl RpcSystem for DFcfs {
             cfg: self.cfg.clone(),
             queues: vec![VecDeque::new(); self.cfg.cores],
             in_service: vec![None; self.cfg.cores],
-            dead: vec![false; self.cfg.cores],
+            occ: OccTable::new(self.cfg.cores),
             timeline: match plane {
                 // One class lane holding at most one pending `Done` per
                 // core.

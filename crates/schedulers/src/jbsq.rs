@@ -29,7 +29,7 @@
 //! other engines. The `nebula_jbsq` hotpath budget tracks that this
 //! per-event path stays within 5% of its seed cost.
 
-use crate::common::{QueuedRequest, RpcSystem, SystemResult};
+use crate::common::{OccTable, QueuedRequest, RpcSystem, SystemResult};
 use rpcstack::nic::{NicModel, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
@@ -182,12 +182,17 @@ struct JbsqWorld<'t> {
     in_flight: Vec<usize>,
     /// Core is paying preemption overhead until cleared.
     stalled: Vec<bool>,
-    /// Dead-core flags; all false (and never read) on healthy runs.
-    dead: Vec<bool>,
+    /// Hot plane: per-core slot occupancy (running + local + in-flight)
+    /// maintained incrementally, with dead cores folded in as the
+    /// sentinel. The NIC's shortest-bounded-queue scan reads only this.
+    occ: OccTable,
     result: SystemResult,
 }
 
 impl JbsqWorld<'_> {
+    /// Recomputed occupancy of a live core — the oracle the incremental
+    /// [`OccTable`] is checked against in debug builds.
+    #[cfg(debug_assertions)]
     fn occupancy(&self, core: usize) -> usize {
         self.running[core].map_or(0, |_| 1) + self.local[core].len() + self.in_flight[core]
     }
@@ -206,18 +211,26 @@ impl JbsqWorld<'_> {
     fn try_push(&mut self, domain: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         while !self.nic_queue[domain].is_empty() {
             // Shortest bounded queue first, within the coherence domain.
+            // First-minimal ties match the old filter + min_by_key scan
+            // over recomputed occupancies.
             let Some(core) = self
-                .domain_cores(domain)
-                .filter(|&c| !self.dead[c] && self.occupancy(c) < self.cfg.bound)
-                .min_by_key(|&c| self.occupancy(c))
+                .occ
+                .argmin_under(self.domain_cores(domain), self.cfg.bound as u32)
             else {
                 return;
             };
+            #[cfg(debug_assertions)]
+            debug_assert!(self
+                .domain_cores(domain)
+                .filter(|&c| !self.occ.is_dead(c) && self.occupancy(c) < self.cfg.bound)
+                .min_by_key(|&c| self.occupancy(c))
+                .is_some_and(|c| c == core));
             let qr = self.nic_queue[domain]
                 .pop_front()
                 .expect("non-empty NIC queue");
             let req = &self.trace.requests()[qr.idx];
             self.in_flight[core] += 1;
+            self.occ.incr(core);
             let xfer = self.cfg.transfer.latency(req.size_bytes);
             q.push(now + xfer, Ev::Deliver(core, qr));
         }
@@ -255,20 +268,24 @@ impl World for JbsqWorld<'_> {
             }
             Ev::Deliver(core, qr) => {
                 self.in_flight[core] -= 1;
-                if self.dead[core] {
+                if self.occ.is_dead(core) {
                     // Pushed before the core died; the descriptor is lost.
                     return;
                 }
+                // Live landing is occupancy-neutral: in-flight becomes local.
                 self.local[core].push_back(qr);
                 self.start_if_idle(core, now, q);
             }
             Ev::SliceDone(core) => {
-                if self.dead[core] {
+                if self.occ.is_dead(core) {
                     // Stale slice from before the core's death.
                     return;
                 }
                 let domain = self.domain_of(core);
                 let mut qr = self.running[core].take().expect("slice on idle core");
+                // Either way the request leaves this core's bound: done, or
+                // requeued at the NIC's central queue.
+                self.occ.decr(core);
                 let ran = match self.cfg.quantum {
                     Some(qt) => qr.remaining.min(qt),
                     None => qr.remaining,
@@ -294,7 +311,7 @@ impl World for JbsqWorld<'_> {
                 }
             }
             Ev::CoreFree(core) => {
-                if self.dead[core] {
+                if self.occ.is_dead(core) {
                     return;
                 }
                 self.stalled[core] = false;
@@ -305,7 +322,7 @@ impl World for JbsqWorld<'_> {
                 // Fail-stop: lose the running request and the local queue;
                 // the central queue re-routes around the dead core from now
                 // on (JBSQ's built-in partial resilience).
-                self.dead[core] = true;
+                self.occ.mark_dead(core);
                 self.running[core] = None;
                 self.local[core].clear();
                 self.try_push(self.domain_of(core), now, q);
@@ -352,7 +369,7 @@ impl RpcSystem for Jbsq {
             local: vec![VecDeque::new(); n],
             in_flight: vec![0; n],
             stalled: vec![false; n],
-            dead: vec![false; n],
+            occ: OccTable::new(n),
             result: SystemResult::with_capacity(trace.len()),
         };
         for f in &self.cfg.faults.worker_failures {

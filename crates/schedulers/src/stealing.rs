@@ -12,14 +12,14 @@
 //! There is no preemption: a long request in service blocks its core, which
 //! is what Shinjuku (and Altocumulus) fix.
 
-use crate::common::{on_core_cost, QueuedRequest, RpcSystem, SystemResult};
+use crate::common::{on_core_cost, OccTable, QueuedRequest, RpcSystem, SystemResult};
 use interconnect::offchip::MemoryModel;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rpcstack::nic::{NicModel, Steering, Transfer};
 use rpcstack::stack::StackModel;
 use simcore::event::{run_streamed, EventQueue, StreamInjector, World};
-use simcore::rng::{stream_rng, streams};
+use simcore::rng::{stream_rng, streams, BatchedRng};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use workload::request::Completion;
@@ -108,7 +108,12 @@ struct StealWorld<'t> {
     cfg: StealingConfig,
     queues: Vec<VecDeque<QueuedRequest>>,
     in_service: Vec<Option<QueuedRequest>>,
-    rng: StdRng,
+    /// Hot plane: 0/1 busy flags mirrored from `in_service`, read by the
+    /// arrival path's idle-core scan.
+    occ: OccTable,
+    /// Victim-selection draws come off the SCHEDULER stream in prefetched
+    /// blocks; [`BatchedRng`] is stream-identical to the plain generator.
+    rng: BatchedRng<StdRng>,
     stolen: u64,
     result: SystemResult,
 }
@@ -130,6 +135,7 @@ impl StealWorld<'_> {
             SimDuration::ZERO,
         ) + extra;
         self.in_service[core] = Some(qr);
+        self.occ.incr(core);
         q.push(now + cost, Ev::Done(core));
     }
 
@@ -179,9 +185,8 @@ impl World for StealWorld<'_> {
                 let qr = QueuedRequest::new(idx, req.service, now);
                 if self.in_service[core].is_none() {
                     self.start(core, qr, now, SimDuration::ZERO, q);
-                } else if let Some(idle) =
-                    (0..self.cfg.cores).find(|&c| self.in_service[c].is_none())
-                {
+                } else if let Some(idle) = self.occ.first_idle(0..self.cfg.cores) {
+                    debug_assert!(self.in_service[idle].is_none());
                     // An idle core grabs it immediately, paying the steal.
                     self.stolen += 1;
                     self.start(idle, qr, now, self.cfg.steal_cost, q);
@@ -191,6 +196,7 @@ impl World for StealWorld<'_> {
             }
             Ev::Done(core) => {
                 let qr = self.in_service[core].take().expect("Done on idle core");
+                self.occ.decr(core);
                 let req = &self.trace.requests()[qr.idx];
                 self.result.record(Completion {
                     id: req.id,
@@ -243,7 +249,8 @@ impl RpcSystem for WorkStealing {
             cfg: self.cfg.clone(),
             queues: vec![VecDeque::new(); self.cfg.cores],
             in_service: vec![None; self.cfg.cores],
-            rng: stream_rng(self.cfg.seed, streams::SCHEDULER),
+            occ: OccTable::new(self.cfg.cores),
+            rng: BatchedRng::new(stream_rng(self.cfg.seed, streams::SCHEDULER)),
             stolen: 0,
             result: SystemResult::with_capacity(trace.len()),
         };

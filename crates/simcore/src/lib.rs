@@ -10,7 +10,10 @@
 //!   [`event::World`] trait and [`event::run`] loop.
 //! - [`faults`]: seeded, deterministic fault-injection plans.
 //! - [`metrics`]: HDR-style latency histograms, quantiles and SLO accounting.
-//! - [`rng`]: per-component deterministic RNG streams.
+//! - [`rng`]: per-component deterministic RNG streams, with
+//!   [`rng::BatchedRng`] draw batching.
+//! - [`slab`]: free-list arena with generation-checked handles for
+//!   keeping event payloads out of the event queue.
 //! - [`alloc`]: a counting global allocator for allocation-budget tests.
 //! - [`parallel`]: deterministic thread fan-out for parameter sweeps.
 //! - [`parengine`]: partitioning and worker-pool plumbing for the
@@ -80,6 +83,7 @@ pub mod parallel;
 pub mod parengine;
 pub mod report;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod telemetry;
 pub mod time;

@@ -5,7 +5,7 @@
 //! draws seen by existing ones.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Derives a child seed from `master` for the stream named by `stream`.
 ///
@@ -32,6 +32,69 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
 /// Creates a seeded [`StdRng`] for the given master seed and stream id.
 pub fn stream_rng(master: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed(master, stream))
+}
+
+/// Number of `u64` words a [`BatchedRng`] prefetches per refill.
+const RNG_BATCH: usize = 64;
+
+/// An [`RngCore`] adapter that draws from its inner generator in blocks.
+///
+/// Hot paths that consume one word at a time pay the generator's full
+/// state-update dependency chain per draw; prefetching a block amortizes
+/// that into a tight refill loop and serves draws from a local ring.
+///
+/// The `u64` stream is *identical by construction* to the inner
+/// generator's: `next_u64` returns exactly the words the inner RNG would
+/// produce, in order, and every derived draw (`next_u32`, `fill_bytes`,
+/// ranges via the blanket [`rand::Rng`] impl) is defined in terms of
+/// `next_u64` — so batching can never perturb a seeded stream, only
+/// front-run it by at most one block.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// use rand::rngs::StdRng;
+/// use simcore::rng::BatchedRng;
+///
+/// let mut plain = StdRng::seed_from_u64(9);
+/// let mut batched = BatchedRng::new(StdRng::seed_from_u64(9));
+/// for _ in 0..200 {
+///     assert_eq!(
+///         plain.random_range(0..17u32),
+///         batched.random_range(0..17u32),
+///     );
+/// }
+/// ```
+pub struct BatchedRng<R> {
+    inner: R,
+    buf: [u64; RNG_BATCH],
+    pos: usize,
+}
+
+impl<R: RngCore> BatchedRng<R> {
+    /// Wraps `inner`, deferring the first refill until the first draw.
+    pub fn new(inner: R) -> Self {
+        BatchedRng {
+            inner,
+            buf: [0; RNG_BATCH],
+            pos: RNG_BATCH,
+        }
+    }
+}
+
+impl<R: RngCore> RngCore for BatchedRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == RNG_BATCH {
+            for slot in &mut self.buf {
+                *slot = self.inner.next_u64();
+            }
+            self.pos = 0;
+        }
+        let word = self.buf[self.pos];
+        self.pos += 1;
+        word
+    }
 }
 
 /// Well-known stream ids, so components across crates never collide.

@@ -64,6 +64,15 @@ for k in KEYS:
     rows.append(f"| {k} | {b:.2f} | {f:.2f} | {(ratio - 1) * 100:+.1f}%{mark} |")
     if ratio > THRESHOLD:
         drifted.append(f"{k}: {b:.2f} ms -> {f:.2f} ms ({(ratio - 1) * 100:+.1f}%)")
+    # Per-event rate regression: wall time can drift for benign reasons
+    # (event counts change when engines are redesigned), but events/sec
+    # dropping >25% on the same key means the per-event hot path got
+    # slower. Rows without a rate (e.g. nebula_jbsq) are skipped.
+    be, fe = base[k].get("events_per_sec"), fresh[k].get("events_per_sec")
+    if be and fe and be / fe > THRESHOLD:
+        drifted.append(
+            f"{k}: events/sec {be:.0f} -> {fe:.0f} ({(fe / be - 1) * 100:+.1f}%)"
+        )
 
 table = "\n".join(
     [
