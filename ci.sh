@@ -43,10 +43,52 @@ for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
   want=$(cat "ci/golden/$name.sha256")
   if [ "$got" != "$want" ]; then
     echo "GOLDEN MISMATCH: $bin --quick stdout digest $got != pinned $want" >&2
-    echo "(see target/$name.txt; regenerate ci/golden/$name.sha256 if intentional)" >&2
+    echo "(see target/$name.txt; regenerate via scripts/regen_golden.sh if intentional)" >&2
+    # Turn "the digest changed" into "which event changed": replay the
+    # golden run trace for this figure (if one exists) so the first
+    # divergent (time, seq) event and its surrounding window land in the
+    # log and in target/replay-diff/ for the CI artifact upload.
+    if [ -f "ci/golden/$name.trace.jsonl" ]; then
+      mkdir -p target/replay-diff
+      echo "==> replaying ci/golden/$name.trace.jsonl to locate the divergence" >&2
+      cargo run -q -p bench --release --bin replay -- "ci/golden/$name.trace.jsonl" \
+        > "target/replay-diff/$name.diff.txt" || true
+      cat "target/replay-diff/$name.diff.txt" >&2
+    fi
     exit 1
   fi
 done
+
+echo "==> golden run-trace gate (record/replay contract)"
+# The TRACE/1.0 run artifacts pin the simulation at the event level, not
+# just the formatted stdout: provenance (seed, config and workload
+# fingerprints, per-stream RNG draw counts) plus a rolling digest of every
+# (time, seq, kind, group, payload) event record. First prove the blessed
+# goldens are intact (hash pin + schema version), then that a fresh
+# recording is byte-identical, then that the golden replays divergence-free
+# against a full-granularity re-execution.
+./scripts/check_golden_traces.sh
+for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick; do
+  bin=${pair%%:*} name=${pair##*:}
+  cargo run -q -p bench --release --bin "$bin" -- --quick \
+    --record-out="target/$name.trace.jsonl" > /dev/null 2> /dev/null
+  if ! cmp "ci/golden/$name.trace.jsonl" "target/$name.trace.jsonl"; then
+    echo "GOLDEN TRACE MISMATCH: fresh $bin --quick recording differs from blessed" >&2
+    mkdir -p target/replay-diff
+    cargo run -q -p bench --release --bin replay -- "ci/golden/$name.trace.jsonl" \
+      > "target/replay-diff/$name.diff.txt" || true
+    cat "target/replay-diff/$name.diff.txt" >&2
+    exit 1
+  fi
+done
+cargo run -q -p bench --release --bin replay -- ci/golden/fig10_quick.trace.jsonl
+cargo run -q -p bench --release --bin replay -- ci/golden/fault_sweep_quick.trace.jsonl
+# The contract's own test suites (root `cargo test -q` covers only the
+# root package): the simcore writer/parser/differ unit tests, then the
+# property suite — engine-invariant round-trips, corruption caught at the
+# exact index, the AC_TRACE_PERTURB seeded-mutation demo.
+cargo test -q -p simcore --release --lib trace::
+cargo test -q -p altocumulus --release --test prop_replay
 
 echo "==> worker-plane elision gates"
 # The root `cargo test -q` above only covers the root package, so the
@@ -90,13 +132,15 @@ rm -f target/fig10_par.txt target/fault_sweep_par.txt
 echo "==> telemetry-export smoke"
 # Export a real trace from the hotpath harness and lint it: the Chrome-trace
 # JSON must parse with well-nested per-request spans, and every probe JSONL
-# line must match the schema. Guards the exporters end-to-end, not just the
-# in-process recorder.
+# line must match the schema. The third argument is the fresh TRACE/1.0 run
+# artifact from the golden gate above, schema-validated by the same linter.
+# Guards the exporters end-to-end, not just the in-process recorders.
 SMOKE=target/telemetry-smoke
 mkdir -p "$SMOKE"
 cargo run -q -p bench --release --bin hotpath -- --trace-out "$SMOKE/trace.json" \
   > /dev/null 2> /dev/null
+cp target/fig10_quick.trace.jsonl "$SMOKE/run.trace.jsonl"
 cargo run -q -p bench --release --bin trace_lint -- \
-  "$SMOKE/trace.json" "$SMOKE/trace.probes.jsonl"
+  "$SMOKE/trace.json" "$SMOKE/trace.probes.jsonl" "$SMOKE/run.trace.jsonl"
 
 echo "CI OK"

@@ -26,6 +26,7 @@
 
 use altocumulus::config::Resilience;
 use altocumulus::{AcConfig, Altocumulus};
+use bench::record::{record_artifact, record_granularity_arg, record_out_arg, scenario_runs};
 use bench::{has_flag, parallel_map, poisson_trace};
 use schedulers::common::RpcSystem;
 use schedulers::dfcfs::{DFcfs, DFcfsConfig};
@@ -196,4 +197,21 @@ fn main() {
             "degrades worse somewhere"
         }
     );
+
+    // Optional run recording (see fig10_comparison): re-executes the
+    // AC_int cells with a `TRACE/1.0` recorder attached. Files + stderr
+    // only — stdout stays byte-identical.
+    if let Some(path) = record_out_arg() {
+        let gran = record_granularity_arg();
+        let specs = scenario_runs("fault_sweep", quick).unwrap();
+        let artifact = record_artifact("fault_sweep", quick, gran, &specs);
+        std::fs::write(&path, &artifact).expect("write record artifact");
+        eprintln!(
+            "record ({} AC_int runs, {} granularity): {} bytes -> {}",
+            specs.len(),
+            gran.label(),
+            artifact.len(),
+            path.display()
+        );
+    }
 }

@@ -13,6 +13,7 @@
 
 use altocumulus::telemetry::phase_table;
 use altocumulus::{AcConfig, Altocumulus};
+use bench::record::{record_artifact, record_granularity_arg, record_out_arg, scenario_runs};
 use bench::{
     capture_telemetry, export_trace, has_flag, parallel_map, point_from, poisson_trace,
     trace_out_arg,
@@ -168,6 +169,24 @@ fn main() {
     // (the figure itself is already printed; this is a debugging artifact).
     // Files + stderr only, so stdout stays byte-identical with or without
     // the flag.
+    // Optional run recording: re-executes the AC_rss cells with a
+    // `TRACE/1.0` recorder attached and writes the artifact (replayable
+    // with the `replay` binary; Summary granularity is the golden-trace
+    // format). Files + stderr only — stdout stays byte-identical.
+    if let Some(path) = record_out_arg() {
+        let gran = record_granularity_arg();
+        let specs = scenario_runs("fig10_comparison", quick).unwrap();
+        let artifact = record_artifact("fig10_comparison", quick, gran, &specs);
+        std::fs::write(&path, &artifact).expect("write record artifact");
+        eprintln!(
+            "record ({} AC_rss runs, {} granularity): {} bytes -> {}",
+            specs.len(),
+            gran.label(),
+            artifact.len(),
+            path.display()
+        );
+    }
+
     if let Some(path) = trace_out_arg() {
         let trace = poisson_trace(dist, 0.3, CORES, requests / 10, 128, 10);
         let mut tel = capture_telemetry(trace.len());

@@ -1,0 +1,83 @@
+//! Replays a recorded `TRACE/1.0` run artifact and fails at the first
+//! divergent event.
+//!
+//! ```text
+//! replay <artifact.trace.jsonl>
+//! ```
+//!
+//! The artifact names the figure binary and sweep shape it was recorded
+//! from; `replay` rebuilds the same runs from the scenario registry
+//! (`bench::record`), re-executes each one with full-granularity recording,
+//! and compares against the artifact: provenance first (seed, config and
+//! workload fingerprints), then the event sequence — exact `(time, seq,
+//! kind, group, payload)` records when the artifact was recorded at full
+//! granularity, digest-checkpoint blocks otherwise — then RNG draw counts
+//! per stream. The first divergence is reported with a surrounding event
+//! window and provenance context; exit status is non-zero.
+//!
+//! Used standalone to debug a golden-gate failure, and by ci.sh to turn
+//! "the golden hash changed" into "event 18342 changed from X to Y".
+
+use bench::record::replay_artifact;
+use simcore::trace::validate_artifact;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: replay <artifact.trace.jsonl>");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Schema-validate before replaying, but don't stop on a violation: a
+    // corrupted recording (e.g. a perturbed timestamp breaking the strict
+    // (time, seq) order) should still get a first-divergence diff, which
+    // is far more actionable than the schema message alone. Only an
+    // unparseable artifact is a hard tooling error.
+    let mut schema_violation = false;
+    match validate_artifact(&text) {
+        Ok(stats) => eprintln!(
+            "replay: {path}: schema OK ({} runs, {} events, {} checkpoints)",
+            stats.runs, stats.events, stats.checkpoints
+        ),
+        Err(e) => {
+            eprintln!("replay: {path}: SCHEMA VIOLATION: {e}");
+            eprintln!("replay: continuing to locate the first divergence");
+            schema_violation = true;
+        }
+    }
+
+    match replay_artifact(&text) {
+        Ok(rep) => {
+            print!("{}", rep.report);
+            if rep.diverged == 0 && !schema_violation {
+                println!("replay: {} run(s) reproduced exactly", rep.runs);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "replay: {}/{} run(s) DIVERGED{}",
+                    rep.diverged,
+                    rep.runs,
+                    if schema_violation {
+                        " (and the artifact violates the schema)"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("replay: {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,20 +1,29 @@
 //! Validates exported telemetry artifacts: a Chrome-trace JSON (must parse
 //! and have well-nested per-track spans) and a probe JSONL (every line must
-//! match the probe schema). Exits non-zero on the first violation — the CI
-//! smoke step runs this against a fresh `hotpath --trace-out` export.
+//! match the probe schema). An optional third argument is a `TRACE/1.0`
+//! run-record artifact (from `--record-out`), schema-validated without
+//! replaying it: version fields, required header keys, strictly monotone
+//! `(time, seq)` event rank, checkpoint/footer consistency. Exits non-zero
+//! on the first violation — the CI smoke step runs this against fresh
+//! `hotpath --trace-out` and `fig10_comparison --record-out` exports.
 //!
 //! ```sh
-//! cargo run -p bench --release --bin trace_lint -- trace.json trace.probes.jsonl
+//! cargo run -p bench --release --bin trace_lint -- trace.json trace.probes.jsonl [run.trace.jsonl]
 //! ```
 
 use simcore::telemetry::{validate_chrome_trace, validate_probe_jsonl};
+use simcore::trace::validate_artifact;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [trace_path, probe_path] = args.as_slice() else {
-        eprintln!("usage: trace_lint <trace.json> <probes.jsonl>");
-        return ExitCode::FAILURE;
+    let (trace_path, probe_path, record_path) = match args.as_slice() {
+        [t, p] => (t, p, None),
+        [t, p, r] => (t, p, Some(r)),
+        _ => {
+            eprintln!("usage: trace_lint <trace.json> <probes.jsonl> [run.trace.jsonl]");
+            return ExitCode::FAILURE;
+        }
     };
 
     let trace = match std::fs::read_to_string(trace_path) {
@@ -51,6 +60,26 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("trace_lint: {probe_path}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(record_path) = record_path {
+        let record = match std::fs::read_to_string(record_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace_lint: cannot read {record_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_artifact(&record) {
+            Ok(stats) => println!(
+                "{record_path}: OK ({} runs, {} events, {} spans, {} checkpoints)",
+                stats.runs, stats.events, stats.spans, stats.checkpoints
+            ),
+            Err(e) => {
+                eprintln!("trace_lint: {record_path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod record;
+
 use altocumulus::telemetry::{chrome_trace, Telemetry};
 use schedulers::common::{RpcSystem, SystemResult};
 use simcore::time::SimDuration;

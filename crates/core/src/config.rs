@@ -218,6 +218,15 @@ impl AcConfig {
         self.group_size - 1
     }
 
+    /// Content fingerprint of the whole configuration (FNV-1a 64 over the
+    /// canonical `Debug` rendering, which covers every field including the
+    /// fault plan and seed). Recorded into `TRACE/1.0` artifacts so a
+    /// replay against a drifted configuration fails at provenance — before
+    /// any event comparison could mislead.
+    pub fn fingerprint(&self) -> u64 {
+        simcore::trace::fnv1a64(format!("{self:?}").as_bytes())
+    }
+
     /// Total cores (managers + workers).
     pub fn total_cores(&self) -> usize {
         self.groups * self.group_size

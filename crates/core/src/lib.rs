@@ -63,6 +63,6 @@ pub use accounting::{
 pub use config::{AcConfig, Attachment, ControlPlane, WorkerPlane};
 pub use hw::interface::Interface;
 pub use runtime::predictor::ThresholdPolicy;
-pub use system::{AcResult, Altocumulus, MigrationStats};
+pub use system::{event_kind_names, AcResult, Altocumulus, MigrationStats, RngDraws};
 pub use telemetry::{Telemetry, TelemetrySink};
 pub use tenancy::Tenancy;

@@ -23,11 +23,13 @@ use schedulers::common::{QueuedRequest, RpcSystem, SystemResult};
 use simcore::event::{run_streamed, EventQueue, RunSummary, StreamInjector, World};
 use simcore::faults::{NocDecision, NocFaultRng};
 use simcore::parengine::{par_threads, Partitioning};
-use simcore::rng::{stream_rng, streams, BatchedRng};
+use simcore::rng::{stream_rng, streams, BatchedRng, CountingRng};
 use simcore::slab::{Handle, Slab};
 use simcore::telemetry::{NullSink, Telemetry, TelemetrySink};
 use simcore::time::{SimDuration, SimTime};
 use simcore::timeline::worker_plane;
+use simcore::trace::{fnv1a64_fold, Recorder};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use workload::request::Completion;
 use workload::trace::Trace;
@@ -89,6 +91,21 @@ pub struct FaultStats {
     pub emergency_migrations: u64,
 }
 
+/// Per-stream RNG draw counts of one run. Part of the record/replay
+/// provenance: two runs that execute identical event sequences must also
+/// agree on these counts, so a replay that drifts in *randomness consumed*
+/// is caught even when the latency output happens to match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RngDraws {
+    /// Logical `u64` words drawn from the NIC steering stream
+    /// ([`streams::NIC`]); counts the post-[`BatchedRng`] stream, so the
+    /// number is independent of block prefetching.
+    pub nic: u64,
+    /// Decision draws made by the faulty-NoC decider
+    /// ([`streams::FAULTS`]); `0` on healthy runs.
+    pub faults: u64,
+}
+
 /// Result of an Altocumulus run: the standard [`SystemResult`] plus
 /// migration accounting.
 #[derive(Debug, Clone)]
@@ -101,6 +118,13 @@ pub struct AcResult {
     pub summary: RunSummary,
     /// Fault-injection and recovery counters.
     pub faults: FaultStats,
+    /// Label of the engine that actually drove the run (after eligibility
+    /// resolution): `"serial_elided"`, `"serial_event_driven"`, or
+    /// `"parallel"`. Provenance only — all three produce byte-identical
+    /// observables.
+    pub engine: &'static str,
+    /// Per-stream RNG draw accounting.
+    pub rng: RngDraws,
 }
 
 /// The simulated Altocumulus system.
@@ -213,6 +237,32 @@ impl Altocumulus {
         self.run_with(trace, tel, self.auto_mode())
     }
 
+    /// Runs the full simulation while recording the executed event sequence
+    /// (and, depending on [`Recorder`] granularity, the span log) into a
+    /// [`Recorder`] for `TRACE/1.0` artifact export and first-divergence
+    /// replay (see [`simcore::trace`]).
+    ///
+    /// Like [`run_traced`](Self::run_traced), recording is non-perturbing:
+    /// the sink only observes `(time, seq, event)` ranks the engine already
+    /// computed, so the returned [`AcResult`] is byte-identical to
+    /// [`run_detailed`](Self::run_detailed) on the same trace. All three
+    /// engines record the same sequence — the artifact is engine-independent.
+    pub fn run_recorded(&mut self, trace: &Trace, rec: &mut Recorder) -> AcResult {
+        self.run_with(trace, rec, self.auto_mode())
+    }
+
+    /// Test hook: [`run_recorded`](Self::run_recorded) under an explicit
+    /// partitioning (parallel-engine record/replay coverage).
+    #[doc(hidden)]
+    pub fn run_recorded_partitioned(
+        &mut self,
+        trace: &Trace,
+        rec: &mut Recorder,
+        parts: Partitioning,
+    ) -> AcResult {
+        self.run_with(trace, rec, RunMode::Parallel(parts))
+    }
+
     /// Resolves the requested [`RunMode`] into the one [`Engine`] that
     /// drives the run. Every eligibility rule lives here — the three
     /// dispatch sites of `run_with` (group-store layout, worker-plane
@@ -261,8 +311,15 @@ impl Altocumulus {
         let mut steering = cfg.steering.clone();
         // Batched: the xoshiro words are prefetched in blocks of 64. Every
         // steering draw derives from `next_u64`, so the draw sequence is
-        // identical to the unbatched stream by construction.
-        let mut nic_rng = BatchedRng::new(stream_rng(cfg.seed, streams::NIC));
+        // identical to the unbatched stream by construction. The counting
+        // wrapper mirrors the *logical* draw count (not prefetched words)
+        // into a cell the run can read back after the injector closure has
+        // swallowed the generator.
+        let nic_draws = Cell::new(0u64);
+        let mut nic_rng = CountingRng::new(
+            BatchedRng::new(stream_rng(cfg.seed, streams::NIC)),
+            &nic_draws,
+        );
 
         let mut queue = EventQueue::new();
         let base_seq = queue.reserve_seqs(trace.len() as u64);
@@ -509,11 +566,21 @@ impl Altocumulus {
         };
         world.finalize_idle_accounting(summary.end_time);
         let fault_stats = world.faults.as_ref().map(|f| f.stats).unwrap_or_default();
+        let fault_draws = world
+            .faults
+            .as_ref()
+            .and_then(|f| f.noc.as_ref())
+            .map_or(0, |n| n.draws());
         AcResult {
             system: world.result,
             stats: world.stats,
             summary,
             faults: fault_stats,
+            engine: engine.label(),
+            rng: RngDraws {
+                nic: nic_draws.get(),
+                faults: fault_draws,
+            },
         }
     }
 }
@@ -556,6 +623,124 @@ enum Engine {
     SerialEventDriven,
     /// Quiet-window parallel engine (worker plane always event-driven).
     Parallel(Partitioning),
+}
+
+impl Engine {
+    /// Stable label for run artifacts ([`AcResult::engine`]).
+    fn label(&self) -> &'static str {
+        match self {
+            Engine::SerialElided => "serial_elided",
+            Engine::SerialEventDriven => "serial_event_driven",
+            Engine::Parallel(_) => "parallel",
+        }
+    }
+}
+
+/// Human-readable names of the event `kind` tags recorded into `TRACE/1.0`
+/// artifacts, indexed by tag. The tag order mirrors the [`Ev`] variant
+/// order and is part of the artifact schema — append, never reorder.
+pub fn event_kind_names() -> &'static [&'static str] {
+    &[
+        "Enqueue",
+        "Deliver",
+        "WorkerDone",
+        "MgrOpDone",
+        "Tick",
+        "Msg",
+        "RecvDrained",
+        "Fault",
+    ]
+}
+
+/// Folds one protocol message into a content digest for event records.
+/// Descriptor indices are folded individually, so a MIGRATE whose batch
+/// differs by a single descriptor diverges.
+fn msg_digest(msg: &Message) -> u64 {
+    let mut h = 0;
+    match msg {
+        Message::Migrate {
+            src,
+            dst,
+            descriptors,
+            token,
+        } => {
+            h = fnv1a64_fold(h, 1);
+            h = fnv1a64_fold(h, *src as u64);
+            h = fnv1a64_fold(h, *dst as u64);
+            h = fnv1a64_fold(h, *token);
+            for d in descriptors {
+                h = fnv1a64_fold(h, d.trace_idx as u64);
+            }
+        }
+        Message::Update { src, queue_len } => {
+            h = fnv1a64_fold(h, 2);
+            h = fnv1a64_fold(h, *src as u64);
+            h = fnv1a64_fold(h, *queue_len as u64);
+        }
+        Message::Ack {
+            src,
+            accepted,
+            token,
+        } => {
+            h = fnv1a64_fold(h, 3);
+            h = fnv1a64_fold(h, *src as u64);
+            h = fnv1a64_fold(h, *accepted as u64);
+            h = fnv1a64_fold(h, *token);
+        }
+        Message::Nack {
+            src,
+            descriptors,
+            token,
+        } => {
+            h = fnv1a64_fold(h, 4);
+            h = fnv1a64_fold(h, *src as u64);
+            h = fnv1a64_fold(h, *token);
+            for d in descriptors {
+                h = fnv1a64_fold(h, d.trace_idx as u64);
+            }
+        }
+    }
+    h
+}
+
+/// The `(kind, group, payload)` descriptor of one executed event, as
+/// recorded into `TRACE/1.0` artifacts (see [`event_kind_names`] for the
+/// tag vocabulary). Engine-invariant by the byte-identity guarantee: slab
+/// handles allocate in identical order across engines, message payloads are
+/// digested by content, and every field the descriptor folds is part of the
+/// observable event sequence.
+fn describe_ev(ev: &Ev, msg_slab: &Slab<Message>) -> (u8, u32, u64) {
+    if let Ev::Msg { dst, msg, .. } = ev {
+        // Observation runs before `handle` takes the payload out of the
+        // arena, so the handle always resolves here.
+        let digest = msg_slab.get(*msg).map_or(0, msg_digest);
+        return (5, *dst, digest);
+    }
+    describe_slabless_ev(ev)
+}
+
+/// [`describe_ev`] for the event variants that carry no arena payload —
+/// everything a parallel shard can execute, so shard-side recording needs
+/// no access to the world's message slab.
+fn describe_slabless_ev(ev: &Ev) -> (u8, u32, u64) {
+    match ev {
+        Ev::Enqueue(g, idx) => (0, *g, *idx as u64),
+        Ev::Deliver(g, w, h) => (1, *g, ((*w as u64) << 32) | h.index() as u64),
+        Ev::WorkerDone(g, w, epoch) => (2, *g, ((*w as u64) << 32) | *epoch as u64),
+        Ev::MgrOpDone(g) => (3, *g, 0),
+        Ev::Tick(g) => (4, *g, 0),
+        Ev::Msg { .. } => unreachable!("Msg descriptors need the message arena"),
+        Ev::RecvDrained(g) => (6, *g, 0),
+        Ev::Fault(fe) => {
+            let (group, payload) = match fe {
+                FaultEv::WorkerFail(g, w) => (*g, (1u64 << 32) | *w as u64),
+                FaultEv::ManagerFail(g) => (*g, 2u64 << 32),
+                FaultEv::Takeover(g) => (*g, 3u64 << 32),
+                FaultEv::MigrateTimeout(id) => (u32::MAX, (4u64 << 32) | *id as u64),
+            };
+            (7, group, payload)
+        }
+    }
 }
 
 /// The event vocabulary, deliberately small and `Copy` (24 bytes): the
@@ -2561,6 +2746,16 @@ impl<S: TelemetrySink> AcWorld<'_, S> {
 
 impl<S: TelemetrySink> World for AcWorld<'_, S> {
     type Event = Ev;
+
+    #[inline]
+    fn observe(&mut self, now: SimTime, seq: u64, ev: &Ev) {
+        // Gated exactly like probe-sample computation: against a
+        // non-recording sink the descriptor math compiles away.
+        if self.tel.records_events() {
+            let (kind, group, payload) = describe_ev(ev, &self.msg_slab);
+            self.tel.event_record(now, seq, kind, group, payload);
+        }
+    }
 
     fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
         match ev {

@@ -143,6 +143,12 @@ struct Shard {
     heap: BinaryHeap<ChildEv>,
     recs: Vec<WRec>,
     actions: Vec<ARec>,
+    /// Event-record descriptors, aligned with `recs` — shards never retain
+    /// the executed [`Ev`], so when a recording sink is attached each
+    /// shard computes the `(kind, group, payload)` descriptor at execution
+    /// and the commit walk emits it at the exact serial `(time, seq)`.
+    /// Empty when the sink records no events.
+    descs: Vec<(u8, u32, u64)>,
 }
 
 /// The shard-side [`QuietSink`]: records effects instead of applying them.
@@ -196,6 +202,7 @@ fn run_shard(
     intra: &Transfer,
     dispatch_op: SimDuration,
     tel_enabled: bool,
+    rec_enabled: bool,
     mut sh: Shard,
 ) -> Shard {
     let env = QuietEnv {
@@ -209,6 +216,7 @@ fn run_shard(
     };
     sh.recs.clear();
     sh.actions.clear();
+    sh.descs.clear();
     debug_assert!(sh.heap.is_empty(), "child heap leaked across windows");
     let mut next_ord = 0u32;
     let mut bi = 0usize;
@@ -230,6 +238,9 @@ fn run_shard(
                 (c.at, WKey::Child(c.ord), c.ev)
             }
         };
+        if rec_enabled {
+            sh.descs.push(describe_slabless_ev(&ev));
+        }
         let before = sh.actions.len();
         let mut sink = ShardSink {
             cut: sh.cut,
@@ -328,7 +339,7 @@ fn pop_virtual<L, M>(
     queue: &mut EventQueue<Ev>,
     source: &mut StreamInjector<L, M>,
     v: &mut Ledger,
-) -> Option<(SimTime, Ev)>
+) -> Option<(SimTime, u64, Ev)>
 where
     L: Fn(usize) -> SimTime,
     M: FnMut(usize) -> (SimTime, Ev),
@@ -337,7 +348,7 @@ where
         match queue.pop_with_seq() {
             Some((t, s, ev)) => {
                 if v.inj >= source.total() || t < source.bound_of(v.inj) {
-                    return Some((t, ev));
+                    return Some((t, s, ev));
                 }
                 // The serial run would refill before committing to this
                 // pop (a reserved stream seq outranks any dynamic push at
@@ -423,6 +434,7 @@ where
     let intra = world.intra_transfer;
     let dispatch_op = world.dispatch_op;
     let tel_enabled = world.tel.enabled();
+    let rec_enabled = world.tel.records_events();
     let trace_len = trace.len();
     let nparts = partitioning.parts();
 
@@ -449,14 +461,24 @@ where
                 heap: BinaryHeap::new(),
                 recs: Vec::new(),
                 actions: Vec::new(),
+                descs: Vec::new(),
             })
         })
         .collect();
     let mut curs: Vec<Cursor> = (0..nparts).map(|_| Cursor::default()).collect();
     let mut heads: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
 
-    let shard_fn =
-        move |_w: usize, sh: Shard| run_shard(cfg, trace, &intra, dispatch_op, tel_enabled, sh);
+    let shard_fn = move |_w: usize, sh: Shard| {
+        run_shard(
+            cfg,
+            trace,
+            &intra,
+            dispatch_op,
+            tel_enabled,
+            rec_enabled,
+            sh,
+        )
+    };
 
     let debug_stats = std::env::var_os("PAR_DEBUG").is_some();
     let mut stat_windows = 0u64;
@@ -520,10 +542,11 @@ where
                     // Cut-only window (a streak of serial-only events):
                     // handle it in place — it already popped in serial
                     // order, no reinsertion round-trip needed.
-                    let Some((t, _s, ev)) = cut else { break 'run };
+                    let Some((t, s, ev)) = cut else { break 'run };
                     debug_assert!(t >= now, "window went backwards in time");
                     refill_virtual(source, &mut v, t);
                     v.len -= 1;
+                    world.observe(t, s, &ev);
                     world.handle(t, ev, queue);
                     events += 1;
                     now = t;
@@ -547,11 +570,12 @@ where
                 // Drain what was re-inserted (and whatever it spawns, up to
                 // the same budget) under the virtual serial protocol.
                 for _ in 0..batch_total + 1 {
-                    let Some((t, ev)) = pop_virtual(queue, source, &mut v) else {
+                    let Some((t, s, ev)) = pop_virtual(queue, source, &mut v) else {
                         break 'run;
                     };
                     debug_assert!(t >= now, "window went backwards in time");
                     v.len -= 1;
+                    world.observe(t, s, &ev);
                     world.handle(t, ev, queue);
                     events += 1;
                     now = t;
@@ -579,6 +603,7 @@ where
                     let sh = shell.as_mut().expect("shell in place");
                     sh.recs.clear();
                     sh.actions.clear();
+                    sh.descs.clear();
                     continue;
                 }
                 let mut sh = shell.take().expect("shell in place");
@@ -612,13 +637,21 @@ where
                     heads.push(Reverse((rec.time, resolve(&rec.key, cur), p)));
                 }
             }
-            while let Some(Reverse((t, _seq, p))) = heads.pop() {
+            while let Some(Reverse((t, seq, p))) = heads.pop() {
                 debug_assert!(t >= now, "commit walk went backwards in time");
                 refill_virtual(source, &mut v, t);
                 v.len -= 1;
                 let sh = shells[p].as_mut().expect("shell in place");
                 let cur = &mut curs[p];
                 let rec = sh.recs[cur.ri];
+                if rec_enabled {
+                    // The shard computed the descriptor at execution; emit
+                    // it here, at the event's exact serial `(time, seq)`
+                    // rank and before its effects replay — the same
+                    // observe-before-handle order the serial engines use.
+                    let (kind, group, payload) = sh.descs[cur.ri];
+                    world.tel.event_record(t, seq, kind, group, payload);
+                }
                 for _ in 0..rec.n_actions {
                     let action = std::mem::replace(&mut sh.actions[cur.ai], ARec::Consumed);
                     cur.ai += 1;
@@ -659,9 +692,10 @@ where
 
             // ---- The cut runs through the ordinary serial handler ----
             match cut {
-                Some((t, _s, ev)) => {
+                Some((t, s, ev)) => {
                     refill_virtual(source, &mut v, t);
                     v.len -= 1;
+                    world.observe(t, s, &ev);
                     world.handle(t, ev, queue);
                     events += 1;
                     now = t;

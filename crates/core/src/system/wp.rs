@@ -200,14 +200,18 @@ pub(super) fn run_elided<S: TelemetrySink>(
             continue;
         }
         if take_local {
-            let (t, _seq, ev) = tl.pop().expect("checked non-empty");
+            let (t, seq, ev) = tl.pop().expect("checked non-empty");
             debug_assert!(t >= now, "timeline went backwards in time");
             now = t;
+            // Timeline events carry the exact oracle `(time, seq)` rank, so
+            // the recorded sequence is identical to the event-driven engine.
+            w.observe(now, seq, &ev);
             handle_batched(w, ev, now, queue, &mut tl);
         } else {
-            let (t, _seq, ev) = held.take().expect("checked non-empty");
+            let (t, seq, ev) = held.take().expect("checked non-empty");
             debug_assert!(t >= now, "event queue went backwards in time");
             now = t;
+            w.observe(now, seq, &ev);
             handle_global(w, ev, now, queue, &mut tl);
             events += 1;
         }

@@ -34,6 +34,7 @@
 use altocumulus::{AcConfig, Altocumulus, Telemetry, WorkerPlane};
 use simcore::alloc::CountingAlloc;
 use simcore::time::SimDuration;
+use simcore::trace::{Granularity, Recorder};
 use workload::arrival::PoissonProcess;
 use workload::dist::ServiceDistribution;
 use workload::trace::{Trace, TraceBuilder};
@@ -126,6 +127,26 @@ fn run_traced(trace: &Trace) -> (u64, u64) {
     (ALLOC.allocations() - before, r.summary.events)
 }
 
+/// Like [`run_traced`], but with a span-granularity run [`Recorder`] (the
+/// `--record-out` path): every event folds into the rolling digest and
+/// every 512th pushes a checkpoint, so per-event recording cost must stay
+/// amortized — checkpoint/span vector doubling only, no per-event heap
+/// traffic. Recording *disabled* needs no separate regime: `run_detailed`
+/// is the NullSink monomorphization already pinned at the zero budget by
+/// the mailbox/dormancy regimes above.
+fn run_recorded_spans(trace: &Trace) -> (u64, u64) {
+    let mean = SimDuration::from_ns(850);
+    let mut ac = Altocumulus::new(AcConfig::ac_int(4, 16, mean));
+    let before = ALLOC.allocations();
+    let mut rec = Recorder::with_capacity(Granularity::Spans, 0, 1024).with_perturb(None);
+    let r = ac.run_recorded(trace, &mut rec);
+    assert_eq!(r.system.completions.len(), trace.len());
+    // The elided engine's recorder sees every timeline event, a superset
+    // of the main-loop count the summary reports.
+    assert!(rec.event_count() >= r.summary.events);
+    (ALLOC.allocations() - before, r.summary.events)
+}
+
 fn assert_pinned_by(
     label: &str,
     small_trace: &Trace,
@@ -197,6 +218,16 @@ fn main() {
         &trace(60_000, 0.6),
         0.02,
         run_traced,
+    );
+    // Run recording at span granularity: digest folding is allocation-free
+    // and checkpoints/span points land in vectors that double — the same
+    // amortized shape as the telemetry regime, under the same budget.
+    assert_pinned_by(
+        "record-spans",
+        &trace(20_000, 0.6),
+        &trace(60_000, 0.6),
+        0.02,
+        run_recorded_spans,
     );
     println!("alloc_budget(altocumulus): all regimes pinned");
 }

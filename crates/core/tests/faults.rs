@@ -74,6 +74,9 @@ fn inert_nonempty_plan_is_byte_identical_to_empty() {
     assert_eq!(inert.faults.worker_failures, 0);
     assert_eq!(inert.faults.resteered_requests, 0);
     assert_eq!(inert.faults.updates_dropped, 0);
+    // A fault-free run never touches the FAULTS stream — its draw count is
+    // part of the recorded run identity.
+    assert_eq!(healthy.rng.faults, 0);
 }
 
 #[test]
@@ -250,6 +253,11 @@ fn faulted_runs_are_deterministic() {
         "the stress plan must actually inject something: {:?}",
         a.faults
     );
+    // Replay provenance: the per-stream draw counts recorded into run
+    // artifacts must be deterministic, and a lossy stress plan must
+    // actually consume the FAULTS stream.
+    assert_eq!(a.rng, b.rng);
+    assert!(a.rng.faults > 0, "lossy NoC must draw: {:?}", a.rng);
 }
 
 #[test]

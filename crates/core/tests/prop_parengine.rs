@@ -138,6 +138,9 @@ macro_rules! assert_results_identical {
         prop_assert_eq!($a.summary.end_time, $b.summary.end_time);
         prop_assert_eq!($a.summary.stopped_early, $b.summary.stopped_early);
         prop_assert_eq!($a.summary.peak_queue, $b.summary.peak_queue);
+        // Replay provenance: per-stream RNG draw counts are part of the
+        // recorded run identity, so they must be engine-invariant too.
+        prop_assert_eq!($a.rng, $b.rng);
     };
 }
 

@@ -529,6 +529,15 @@ pub trait World {
     /// `queue`.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 
+    /// Called immediately before [`handle`](Self::handle) with the event's
+    /// full `(time, seq)` rank — the queue's total order, which `handle`
+    /// itself never sees. Record/replay sinks hook this to capture the
+    /// executed event stream; the default is a no-op, so worlds that don't
+    /// record pay nothing. Implementations must only *read* state (the
+    /// telemetry non-perturbation invariant).
+    #[inline]
+    fn observe(&mut self, _now: SimTime, _seq: u64, _event: &Self::Event) {}
+
     /// Called after each event is handled; returning `true` stops the run
     /// early (e.g. once enough requests completed).
     fn should_stop(&self, _now: SimTime) -> bool {
@@ -698,6 +707,7 @@ pub fn run<W: World>(
         }
         debug_assert!(s.time >= now, "event queue went backwards in time");
         now = s.time;
+        world.observe(now, s.seq, &s.event);
         world.handle(now, s.event, queue);
         events += 1;
         peak = peak.max(queue.len());
@@ -770,6 +780,7 @@ pub fn run_streamed<W: World, S: EventSource<W::Event>>(
         }
         debug_assert!(s.time >= now, "event queue went backwards in time");
         now = s.time;
+        world.observe(now, s.seq, &s.event);
         world.handle(now, s.event, queue);
         events += 1;
         peak = peak.max(queue.len());

@@ -240,6 +240,7 @@ impl FaultPlan {
         self.noc.map(|faults| NocFaultRng {
             faults,
             rng: stream_rng(self.seed, rng::streams::FAULTS),
+            draws: 0,
         })
     }
 
@@ -326,6 +327,7 @@ pub enum NocDecision {
 pub struct NocFaultRng {
     faults: NocFaults,
     rng: StdRng,
+    draws: u64,
 }
 
 impl NocFaultRng {
@@ -334,6 +336,7 @@ impl NocFaultRng {
     pub fn lossy(&mut self) -> NocDecision {
         let drop = self.rng.random_bool(self.faults.drop_prob);
         let delay = self.rng.random_bool(self.faults.delay_prob);
+        self.draws += 2;
         if drop {
             NocDecision::Drop
         } else if delay {
@@ -346,11 +349,20 @@ impl NocFaultRng {
     /// Decision for a reliable-channel message (MIGRATE/ACK/NACK): never
     /// dropped, but may be delayed.
     pub fn reliable(&mut self) -> NocDecision {
+        self.draws += 1;
         if self.rng.random_bool(self.faults.delay_prob) {
             NocDecision::Delay(self.faults.delay)
         } else {
             NocDecision::Deliver
         }
+    }
+
+    /// Total decision draws made so far (`lossy` counts 2, `reliable` 1,
+    /// matching the fixed per-call draw discipline documented above). Part
+    /// of the record/replay contract: two runs that agree on every event
+    /// must also agree on this count.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 }
 

@@ -23,6 +23,8 @@
 //! - [`report`]: aligned plain-text tables for experiment output.
 //! - [`telemetry`]: request-lifecycle spans, time-series probes and
 //!   Perfetto/JSONL export behind a zero-cost [`telemetry::TelemetrySink`].
+//! - [`trace`]: versioned `TRACE/1.0` run artifacts — a recording sink,
+//!   schema validation, and first-divergence replay diffing.
 //!
 //! # Examples
 //!
@@ -88,6 +90,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 
 pub use event::{
     run, run_streamed, BinaryHeapQueue, EventQueue, EventSource, RunSummary, StreamInjector, World,
@@ -100,3 +103,4 @@ pub use stats::{batch_means_ci, MeanCi};
 pub use telemetry::{NullSink, Telemetry, TelemetrySink};
 pub use time::{SimDuration, SimTime};
 pub use timeline::{worker_plane, Timeline, WorkerPlane};
+pub use trace::{Granularity, Recorder};

@@ -70,6 +70,7 @@ pub struct BatchedRng<R> {
     inner: R,
     buf: [u64; RNG_BATCH],
     pos: usize,
+    draws: u64,
 }
 
 impl<R: RngCore> BatchedRng<R> {
@@ -79,7 +80,17 @@ impl<R: RngCore> BatchedRng<R> {
             inner,
             buf: [0; RNG_BATCH],
             pos: RNG_BATCH,
+            draws: 0,
         }
+    }
+
+    /// Number of `u64` words *served* so far — the logical draw count of
+    /// the stream, not the number of words prefetched from the inner
+    /// generator (which runs ahead by up to one block). This is the count
+    /// the record/replay artifacts pin: it equals what an unbatched RNG
+    /// would have drawn at the same point of the simulation.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 }
 
@@ -93,7 +104,47 @@ impl<R: RngCore> RngCore for BatchedRng<R> {
         }
         let word = self.buf[self.pos];
         self.pos += 1;
+        self.draws += 1;
         word
+    }
+}
+
+/// An [`RngCore`] adapter that mirrors every logical `u64` draw count into
+/// a shared [`Cell`](std::cell::Cell), for generators that are moved into
+/// closures (e.g. a stream injector) while the surrounding run still needs
+/// the final draw count afterwards. The draw *values* pass through
+/// untouched, so wrapping never perturbs a seeded stream.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::Cell;
+/// use rand::{Rng, SeedableRng};
+/// use rand::rngs::StdRng;
+/// use simcore::rng::CountingRng;
+///
+/// let draws = Cell::new(0u64);
+/// let mut rng = CountingRng::new(StdRng::seed_from_u64(1), &draws);
+/// let _: u64 = rng.random();
+/// let _ = rng.random_range(0..10u32);
+/// assert_eq!(draws.get(), 2);
+/// ```
+pub struct CountingRng<'a, R> {
+    inner: R,
+    draws: &'a std::cell::Cell<u64>,
+}
+
+impl<'a, R: RngCore> CountingRng<'a, R> {
+    /// Wraps `inner`, accumulating draw counts into `draws`.
+    pub fn new(inner: R, draws: &'a std::cell::Cell<u64>) -> Self {
+        CountingRng { inner, draws }
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws.set(self.draws.get() + 1);
+        self.inner.next_u64()
     }
 }
 

@@ -61,6 +61,22 @@ pub trait TelemetrySink {
     /// Records one sample of probe series `series`.
     #[inline]
     fn probe(&mut self, _series: u32, _at: SimTime, _value: f64) {}
+
+    /// True iff this sink wants per-event records
+    /// ([`event_record`](Self::event_record)). Worlds gate the descriptor
+    /// computation (kind tag, payload digest) behind this, exactly like
+    /// [`enabled`](Self::enabled) gates probe-sample computation; the
+    /// default `false` lets the whole record path compile away.
+    #[inline]
+    fn records_events(&self) -> bool {
+        false
+    }
+
+    /// Records that the event ranked `(at, seq)` in the queue's total
+    /// order was executed, with a world-defined descriptor (`kind` tag,
+    /// home `group`, `payload` digest). See [`crate::trace::Recorder`].
+    #[inline]
+    fn event_record(&mut self, _at: SimTime, _seq: u64, _kind: u8, _group: u32, _payload: u64) {}
 }
 
 /// The telemetry-off sink: every hook is a no-op and
@@ -501,7 +517,7 @@ where
     t
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

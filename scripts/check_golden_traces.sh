@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Guard for the golden run traces: before any gate *uses* a golden
+# artifact, prove it is the one that was blessed (sha256 pin) and that it
+# is schema-valid at the supported TRACE version. A tampered, truncated, or
+# stale-version golden must fail here with a clear message, never surface
+# as a confusing replay divergence.
+#
+# Usage: ./scripts/check_golden_traces.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for name in fig10_quick fault_sweep_quick; do
+  trace="ci/golden/$name.trace.jsonl"
+  pin="ci/golden/$name.trace.sha256"
+  if [ ! -f "$trace" ] || [ ! -f "$pin" ]; then
+    echo "GOLDEN TRACE MISSING: $trace or $pin (run scripts/regen_golden.sh)" >&2
+    status=1
+    continue
+  fi
+  got=$(sha256sum < "$trace" | awk '{print $1}')
+  want=$(cat "$pin")
+  if [ "$got" != "$want" ]; then
+    echo "GOLDEN TRACE HASH MISMATCH: $trace digest $got != pinned $want" >&2
+    echo "(the artifact was modified without re-blessing; run scripts/regen_golden.sh)" >&2
+    status=1
+    continue
+  fi
+  if ! head -1 "$trace" | grep -q '"artifact":"TRACE/1.0"'; then
+    echo "GOLDEN TRACE VERSION MISMATCH: $trace is not TRACE/1.0" >&2
+    echo "(re-bless with scripts/regen_golden.sh after a schema migration)" >&2
+    status=1
+    continue
+  fi
+  echo "$trace: hash + version OK"
+done
+exit "$status"
