@@ -4,11 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# The GitHub workflow runs fmt+clippy in a dedicated lint job; its
+# test+golden job sets CI_SKIP_LINT=1 so the lint pass isn't duplicated.
+# Local runs (no env) always lint.
+if [ -n "${CI_SKIP_LINT:-}" ]; then
+  echo "==> lint skipped (CI_SKIP_LINT set; the lint job covers fmt+clippy)"
+else
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> cargo clippy (deny warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -36,7 +43,8 @@ echo "==> golden figure gate (quick configs)"
 # before a reviewer ever diffs numbers. To bless an intentional change:
 #   cargo run -q -p bench --release --bin <fig> -- --quick \
 #     | sha256sum | awk '{print $1}' > ci/golden/<fig>_quick.sha256
-for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
+for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick \
+            rack_sweep:rack_sweep_quick; do
   bin=${pair%%:*} name=${pair##*:}
   cargo run -q -p bench --release --bin "$bin" -- --quick > "target/$name.txt"
   got=$(sha256sum < "target/$name.txt" | awk '{print $1}')
@@ -68,7 +76,8 @@ echo "==> golden run-trace gate (record/replay contract)"
 # recording is byte-identical, then that the golden replays divergence-free
 # against a full-granularity re-execution.
 ./scripts/check_golden_traces.sh
-for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick; do
+for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick \
+            rack_sweep:rack_sweep_quick; do
   bin=${pair%%:*} name=${pair##*:}
   cargo run -q -p bench --release --bin "$bin" -- --quick \
     --record-out="target/$name.trace.jsonl" > /dev/null 2> /dev/null
@@ -83,6 +92,7 @@ for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick; do
 done
 cargo run -q -p bench --release --bin replay -- ci/golden/fig10_quick.trace.jsonl
 cargo run -q -p bench --release --bin replay -- ci/golden/fault_sweep_quick.trace.jsonl
+cargo run -q -p bench --release --bin replay -- ci/golden/rack_sweep_quick.trace.jsonl
 # The contract's own test suites (root `cargo test -q` covers only the
 # root package): the simcore writer/parser/differ unit tests, then the
 # property suite — engine-invariant round-trips, corruption caught at the
@@ -114,6 +124,19 @@ SWEEP_THREADS=4 cargo run -q -p bench --release --bin fault_sweep -- --quick > t
 cmp target/fault_sweep_quick.txt target/fault_sweep_b.txt
 cmp target/fault_sweep_quick.txt target/fault_sweep_c.txt
 rm -f target/fault_sweep_b.txt target/fault_sweep_c.txt
+
+echo "==> rack determinism smoke (repeats + SWEEP_THREADS)"
+# The rack tier's contract: byte-identical across repeated runs and across
+# sweep-executor thread counts. target/rack_sweep_quick.txt is the output
+# the golden gate pinned above; the quick sweep's death cell runs every
+# server under a non-empty per-server fault plan, so faulted-rack routing
+# and whole-server takeover are inside the byte-identity check too.
+cargo run -q -p bench --release --bin rack_sweep -- --quick > target/rack_sweep_b.txt
+SWEEP_THREADS=4 cargo run -q -p bench --release --bin rack_sweep -- --quick \
+  > target/rack_sweep_c.txt
+cmp target/rack_sweep_quick.txt target/rack_sweep_b.txt
+cmp target/rack_sweep_quick.txt target/rack_sweep_c.txt
+rm -f target/rack_sweep_b.txt target/rack_sweep_c.txt
 
 echo "==> parallel-engine determinism (PAR_THREADS=4 vs serial)"
 # The quiet-window parallel engine must match the serial engine byte for

@@ -17,7 +17,10 @@
 
 use crate::poisson_trace;
 use altocumulus::config::Resilience;
-use altocumulus::{event_kind_names, AcConfig, AcResult, Altocumulus};
+use altocumulus::rack::ServerSpec;
+use altocumulus::{
+    event_kind_names, AcConfig, AcResult, Altocumulus, RackConfig, RackWorld, ServerDeath,
+};
 use rpcstack::stack::StackModel;
 use simcore::faults::FaultPlan;
 use simcore::time::{SimDuration, SimTime};
@@ -81,18 +84,104 @@ pub fn trace_fingerprint(trace: &Trace) -> u64 {
     h
 }
 
+/// Sweep shape of the `rack_sweep` scenario, shared by the bin and this
+/// registry so construction drift between them is caught at provenance
+/// (the recorded config/trace fingerprints re-derive from these).
+pub mod rack_shape {
+    /// `(servers, groups, group_size)` of the quick configuration.
+    pub const QUICK: (usize, usize, usize) = (4, 2, 8);
+    /// `(servers, groups, group_size)` of the *recordable* full
+    /// configuration (the bin's 64-server cells are reported but not
+    /// recorded — replaying 64 × 256-core worlds is not CI material).
+    pub const FULL: (usize, usize, usize) = (16, 16, 16);
+    /// Requests offered to the whole rack per cell.
+    pub fn requests(quick: bool) -> usize {
+        if quick {
+            12_000
+        } else {
+            160_000
+        }
+    }
+    /// Offered loads swept.
+    pub fn loads(quick: bool) -> &'static [f64] {
+        if quick {
+            &[0.5, 0.8]
+        } else {
+            &[0.5, 0.7, 0.9]
+        }
+    }
+    /// Load of the whole-server-death cell.
+    pub const DEATH_LOAD: f64 = 0.7;
+}
+
+/// Builds the `rack_sweep` AC rack and its workload for one cell. `shape`
+/// is `(servers, groups, group_size)`; `death` hardens the per-server
+/// resilience policy, installs a per-server [`FaultPlan::stress`] plan and
+/// kills server `servers/2` halfway through the arrival span.
+pub fn rack_sweep_cell(
+    shape: (usize, usize, usize),
+    load: f64,
+    requests: usize,
+    death: bool,
+) -> (RackConfig, Trace) {
+    let (servers, groups, group_size) = shape;
+    // The paper's Bimodal workload — dispersed service times are where
+    // intra-server migration earns its keep, and (unlike the coherence-
+    // bounded JBSQ baselines) AC's NoC mesh spans a full 256-core server.
+    let dist = ServiceDistribution::bimodal_paper();
+    let cores = groups * group_size;
+    let trace = poisson_trace(
+        dist,
+        load,
+        servers * cores,
+        requests,
+        (4 * servers * cores) as u32,
+        11,
+    );
+    let mut rack = RackConfig::ac(servers, groups, group_size, dist.mean());
+    rack.seed = 0xAC5;
+    if death {
+        let ServerSpec::Ac(cfg) = &mut rack.template else {
+            unreachable!("RackConfig::ac builds an AC template")
+        };
+        cfg.resilience = Resilience::hardened();
+        let horizon = trace.requests().last().map_or(SimTime::ZERO, |r| r.arrival);
+        let workers: Vec<usize> = (0..cores).filter(|c| c % group_size != 0).collect();
+        rack.server_faults = (0..servers)
+            .map(|s| FaultPlan::stress(0xAC50 + s as u64, &workers, 0.25, horizon))
+            .collect();
+        rack.deaths = vec![ServerDeath {
+            server: servers / 2,
+            at: SimTime::from_ps(horizon.as_ps() / 2),
+        }];
+    }
+    (rack, trace)
+}
+
 /// How one recordable run builds its system and workload.
 enum SpecKind {
     /// The Fig. 10 AC_rss cell at one load point.
     Fig10 { load: f64, requests: usize },
     /// The fault-sweep AC_int cell at one stress intensity.
     FaultSweep { intensity: f64, requests: usize },
+    /// One server's sub-run of a rack_sweep AC cell: the serial routing
+    /// pass fixes the server's sub-trace, which then replays as a fully
+    /// standard single-server run.
+    Rack {
+        load: f64,
+        requests: usize,
+        death: bool,
+        server: usize,
+    },
 }
 
 /// One recordable run of a figure scenario.
 pub struct RunSpec {
     /// Unique run label within the artifact (replay keys on it).
     pub label: String,
+    /// Rack topology string recorded into the run header (`None` for
+    /// standalone single-server runs); compared as provenance at replay.
+    pub topology: Option<String>,
     params: Vec<(String, String)>,
     kind: SpecKind,
 }
@@ -123,6 +212,25 @@ impl RunSpec {
                 cfg.faults = plan;
                 (cfg, trace)
             }
+            SpecKind::Rack {
+                load,
+                requests,
+                death,
+                server,
+            } => {
+                let quick = requests == rack_shape::requests(true);
+                let shape = if quick {
+                    rack_shape::QUICK
+                } else {
+                    rack_shape::FULL
+                };
+                let (rack, trace) = rack_sweep_cell(shape, load, requests, death);
+                let mut routing = RackWorld::new(rack.clone()).route(&trace);
+                let ServerSpec::Ac(cfg) = rack.server_spec(server) else {
+                    unreachable!("rack_sweep records AC cells only")
+                };
+                (cfg, routing.sub_traces.swap_remove(server))
+            }
         }
     }
 }
@@ -145,6 +253,7 @@ pub fn scenario_runs(bin: &str, quick: bool) -> Option<Vec<RunSpec>> {
                     .iter()
                     .map(|&load| RunSpec {
                         label: format!("AC_rss@{load:.2}"),
+                        topology: None,
                         params: vec![
                             ("load".into(), format!("{load:.2}")),
                             ("requests".into(), requests.to_string()),
@@ -166,6 +275,7 @@ pub fn scenario_runs(bin: &str, quick: bool) -> Option<Vec<RunSpec>> {
                     .iter()
                     .map(|&intensity| RunSpec {
                         label: format!("AC_int@{intensity:.2}"),
+                        topology: None,
                         params: vec![
                             ("intensity".into(), format!("{intensity:.2}")),
                             ("requests".into(), requests.to_string()),
@@ -174,6 +284,52 @@ pub fn scenario_runs(bin: &str, quick: bool) -> Option<Vec<RunSpec>> {
                             intensity,
                             requests,
                         },
+                    })
+                    .collect(),
+            )
+        }
+        "rack_sweep" => {
+            let shape = if quick {
+                rack_shape::QUICK
+            } else {
+                rack_shape::FULL
+            };
+            let requests = rack_shape::requests(quick);
+            // One spec per (cell, server): every AC server's sub-run of
+            // every healthy load point, plus the whole-server-death cell.
+            let cells: Vec<(f64, bool)> = rack_shape::loads(quick)
+                .iter()
+                .map(|&l| (l, false))
+                .chain(std::iter::once((rack_shape::DEATH_LOAD, true)))
+                .collect();
+            Some(
+                cells
+                    .iter()
+                    .flat_map(|&(load, death)| {
+                        // The topology string needs the exact rack config
+                        // (its fingerprint covers fault plans and the
+                        // death schedule, which depend on the workload
+                        // horizon).
+                        let (rack, _) = rack_sweep_cell(shape, load, requests, death);
+                        (0..shape.0).map(move |server| RunSpec {
+                            label: format!(
+                                "AC{}@{load:.2}/srv{server}",
+                                if death { "+death" } else { "" }
+                            ),
+                            topology: Some(rack.topology(server)),
+                            params: vec![
+                                ("load".into(), format!("{load:.2}")),
+                                ("requests".into(), requests.to_string()),
+                                ("death".into(), death.to_string()),
+                                ("server".into(), server.to_string()),
+                            ],
+                            kind: SpecKind::Rack {
+                                load,
+                                requests,
+                                death,
+                                server,
+                            },
+                        })
                     })
                     .collect(),
             )
@@ -194,6 +350,7 @@ pub fn record_run_with(spec: &RunSpec, rec: &mut Recorder) -> (String, AcResult)
         seed: cfg.seed,
         config_fp: cfg.fingerprint(),
         trace_fp: trace_fingerprint(&trace),
+        topology: spec.topology.clone(),
         params: spec.params.clone(),
     };
     let totals = RunTotals {
@@ -262,7 +419,7 @@ pub fn replay_artifact(text: &str) -> Result<ReplayReport, String> {
     let specs = scenario_runs(&parsed.meta.bin, parsed.meta.quick).ok_or_else(|| {
         format!(
             "no replay scenario registered for bin '{}' — recordable bins: \
-             fig10_comparison, fault_sweep",
+             fig10_comparison, fault_sweep, rack_sweep",
             parsed.meta.bin
         )
     })?;

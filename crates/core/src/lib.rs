@@ -52,6 +52,7 @@
 pub mod accounting;
 pub mod config;
 pub mod hw;
+pub mod rack;
 pub mod runtime;
 pub mod system;
 pub mod telemetry;
@@ -62,6 +63,10 @@ pub use accounting::{
 };
 pub use config::{AcConfig, Attachment, ControlPlane, WorkerPlane};
 pub use hw::interface::Interface;
+pub use rack::{
+    RackConfig, RackResult, RackWorld, RoutePolicy, RoutingStats, ServerDeath, ServerSpec,
+    TorConfig,
+};
 pub use runtime::predictor::ThresholdPolicy;
 pub use system::{event_kind_names, AcResult, Altocumulus, MigrationStats, RngDraws};
 pub use telemetry::{Telemetry, TelemetrySink};

@@ -103,6 +103,7 @@ fn record(
         seed,
         config_fp: 0,
         trace_fp: 0,
+        topology: None,
         params: Vec::new(),
     };
     let totals = RunTotals {

@@ -165,6 +165,9 @@ pub mod streams {
     /// Fault-injection decisions (NoC drop/delay); isolated so that adding
     /// faults to a run never perturbs the workload streams above.
     pub const FAULTS: u64 = 7;
+    /// Rack-tier inter-server routing (power-of-k candidate sampling at the
+    /// ToR); isolated so the rack layer never perturbs per-server streams.
+    pub const RACK: u64 = 8;
 }
 
 #[cfg(test)]

@@ -329,6 +329,13 @@ pub struct RunMeta {
     pub config_fp: u64,
     /// Fingerprint of the workload trace.
     pub trace_fp: u64,
+    /// Topology of the recorded run within a larger composed system, or
+    /// `None` for a standalone single-server run. Rack-tier recordings set
+    /// this to a canonical `rack:<servers>x<groups>x<group_size>/...` string
+    /// naming the rack shape, ToR model and which server the section
+    /// belongs to; the replayer compares it as provenance, so an artifact
+    /// replayed against a drifted rack layout fails before any event diff.
+    pub topology: Option<String>,
     /// Scenario parameters, as ordered string pairs (e.g. `load = "0.05"`).
     pub params: Vec<(String, String)>,
 }
@@ -364,7 +371,7 @@ pub fn write_run_section(out: &mut String, meta: &RunMeta, rec: &Recorder, total
     use crate::telemetry::json_string as js;
     out.push_str(&format!(
         "{{\"run\":{},\"version\":{},\"engine\":{},\"seed\":{},\"config_fp\":{},\
-         \"trace_fp\":{},\"granularity\":{},\"checkpoint_every\":{},\"params\":{{",
+         \"trace_fp\":{},\"granularity\":{},\"checkpoint_every\":{}",
         js(&meta.label),
         js(TRACE_VERSION),
         js(meta.engine),
@@ -374,6 +381,12 @@ pub fn write_run_section(out: &mut String, meta: &RunMeta, rec: &Recorder, total
         js(rec.granularity().label()),
         rec.checkpoint_every(),
     ));
+    // The topology key is written only for composed (rack-tier) runs, so
+    // standalone artifacts stay byte-identical to the pre-rack format.
+    if let Some(topo) = &meta.topology {
+        out.push_str(&format!(",\"topo\":{}", js(topo)));
+    }
+    out.push_str(",\"params\":{");
     for (i, (k, v)) in meta.params.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -457,6 +470,8 @@ pub struct ParsedRun {
     pub config_fp: u64,
     /// Workload-trace fingerprint.
     pub trace_fp: u64,
+    /// Composed-system topology (rack shape + server slot), if recorded.
+    pub topology: Option<String>,
     /// Recording granularity.
     pub granularity: Granularity,
     /// Checkpoint interval.
@@ -599,6 +614,7 @@ pub fn parse_artifact(text: &str) -> Result<ParsedArtifact, String> {
                 seed: get_u64(&j, "seed").map_err(&ctx)?,
                 config_fp: get_u64(&j, "config_fp").map_err(&ctx)?,
                 trace_fp: get_u64(&j, "trace_fp").map_err(&ctx)?,
+                topology: j.get("topo").and_then(Json::as_str).map(String::from),
                 granularity,
                 checkpoint_every: get_u64(&j, "checkpoint_every").map_err(&ctx)?,
                 params,
@@ -870,6 +886,14 @@ pub fn first_divergence(expected: &ParsedRun, actual: &ParsedRun) -> Option<Dive
                 actual: format!("0x{a:x}"),
             });
         }
+    }
+    if expected.topology != actual.topology {
+        let show = |t: &Option<String>| t.clone().unwrap_or_else(|| "<standalone>".into());
+        return Some(Divergence::Provenance {
+            field: "topology",
+            expected: show(&expected.topology),
+            actual: show(&actual.topology),
+        });
     }
 
     if expected.granularity == Granularity::Full && actual.granularity == Granularity::Full {
@@ -1171,12 +1195,17 @@ mod tests {
     }
 
     fn artifact_of(rec: &Recorder, label: &str) -> String {
+        artifact_with_topology(rec, label, None)
+    }
+
+    fn artifact_with_topology(rec: &Recorder, label: &str, topology: Option<String>) -> String {
         let meta = RunMeta {
             label: label.into(),
             engine: "serial_event_driven",
             seed: 7,
             config_fp: 0xABCD,
             trace_fp: 0x1234_5678_9ABC_DEF0,
+            topology,
             params: vec![("load".into(), "0.5".into())],
         };
         let totals = RunTotals {
@@ -1210,6 +1239,29 @@ mod tests {
         let stats = validate_artifact(&text).expect("validates");
         assert_eq!(stats.runs, 1);
         assert_eq!(stats.events, 100);
+    }
+
+    #[test]
+    fn topology_roundtrips_and_gates_provenance() {
+        let rec = record_run(20, Granularity::Full, 8);
+        let topo = "rack:4x2x8/tor500ns100g/srv1";
+        let text = artifact_with_topology(&rec, "r0", Some(topo.into()));
+        let parsed = parse_artifact(&text).expect("parses");
+        assert_eq!(parsed.runs[0].topology.as_deref(), Some(topo));
+        validate_artifact(&text).expect("validates");
+        // A standalone header omits the key entirely (byte-compatible with
+        // pre-rack artifacts) and parses back as None.
+        let plain = artifact_of(&rec, "r0");
+        assert!(!plain.contains("\"topo\""));
+        let none = parse_artifact(&plain).expect("parses");
+        assert_eq!(none.runs[0].topology, None);
+        // Topology is provenance: a rack section replayed against a drifted
+        // layout diverges before any event comparison.
+        match first_divergence(&parsed.runs[0], &none.runs[0]) {
+            Some(Divergence::Provenance { field, .. }) => assert_eq!(field, "topology"),
+            other => panic!("expected provenance divergence, got {other:?}"),
+        }
+        assert!(first_divergence(&parsed.runs[0], &parsed.runs[0]).is_none());
     }
 
     #[test]

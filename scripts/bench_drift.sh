@@ -36,6 +36,7 @@ KEYS = [
     "altocumulus_int_16x16_wp_event_driven",
     "altocumulus_int_32x32_wp_event_driven",
     "altocumulus_int_16x16_event_driven",
+    "rack_4x16_ac",
     "nebula_jbsq",
 ]
 THRESHOLD = 1.25
@@ -50,8 +51,12 @@ def hw_threads(doc, row):
 rows, drifted = [], []
 for k in KEYS:
     if k not in base or k not in fresh:
-        # New keys stay warn-only even against a stale baseline.
-        rows.append(f"| {k} | - | - | missing |")
+        # Missing-key guard: a key silently dropping out of either side is
+        # itself drift (a renamed row or a stale baseline) — warn, never
+        # fail, like every other drift here.
+        where = "baseline" if k not in base else "fresh run"
+        rows.append(f"| {k} | - | - | missing from {where} |")
+        drifted.append(f"{k}: missing from {where} (refresh BENCH_hotpath.json)")
         continue
     if "_par" in k:
         hw = min(hw_threads(base, base[k]), hw_threads(fresh, fresh[k]))

@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
-for name in fig10_quick fault_sweep_quick; do
+for name in fig10_quick fault_sweep_quick rack_sweep_quick; do
   trace="ci/golden/$name.trace.jsonl"
   pin="ci/golden/$name.trace.sha256"
   if [ ! -f "$trace" ] || [ ! -f "$pin" ]; then

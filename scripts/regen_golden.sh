@@ -19,7 +19,8 @@ echo "==> release build"
 cargo build --release -p bench
 
 echo "==> stdout digests"
-for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
+for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick \
+            rack_sweep:rack_sweep_quick; do
   bin=${pair%%:*} name=${pair##*:}
   cargo run -q -p bench --release --bin "$bin" -- --quick \
     | sha256sum | awk '{print $1}' > "ci/golden/$name.sha256"
@@ -27,7 +28,8 @@ for pair in fig10_comparison:fig10_quick fig13a_scalability:fig13a_quick; do
 done
 
 echo "==> golden run traces (summary granularity)"
-for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick; do
+for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick \
+            rack_sweep:rack_sweep_quick; do
   bin=${pair%%:*} name=${pair##*:}
   cargo run -q -p bench --release --bin "$bin" -- --quick \
     --record-out="ci/golden/$name.trace.jsonl" > /dev/null 2> /dev/null
@@ -38,7 +40,7 @@ for pair in fig10_comparison:fig10_quick fault_sweep:fault_sweep_quick; do
 done
 
 echo "==> verify fresh goldens replay clean"
-for name in fig10_quick fault_sweep_quick; do
+for name in fig10_quick fault_sweep_quick rack_sweep_quick; do
   cargo run -q -p bench --release --bin replay -- "ci/golden/$name.trace.jsonl" \
     > /dev/null
 done
@@ -61,6 +63,14 @@ echo "==> provenance"
   echo "  digest changed\" into the first divergent \`(time, seq)\` event."
   echo "- \`<name>_quick.trace.sha256\` — sha256 of that artifact, checked by"
   echo "  \`scripts/check_golden_traces.sh\` before any replay uses it."
+  echo
+  echo "Pinned stdout digests: \`fig10_quick\`, \`fig13a_quick\`,"
+  echo "\`rack_sweep_quick\`. Pinned run traces: \`fig10_quick\`,"
+  echo "\`fault_sweep_quick\`, \`rack_sweep_quick\` — the rack trace records"
+  echo "one run section per AC server sub-run, each carrying its"
+  echo "\`rack:<servers>x<cores>:<system>/fp<fingerprint>/srv<i>\` topology"
+  echo "string, so a replay against a drifted rack shape fails at"
+  echo "provenance before any event comparison."
   echo
   echo "## Provenance of the current blessing"
   echo
